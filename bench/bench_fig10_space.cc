@@ -1,0 +1,68 @@
+// Figure 10: space usage after fillseq, hash load, fillrandom (random-order
+// inserts with collisions = many updates) and overwrite (updates only).
+// Expected shape (paper Sec 6.7): fillseq == hash load for everyone (no
+// updates to reclaim); IAM smallest (no overflow debt); LevelDB/RocksDB
+// slightly larger; LSA far larger on fillrandom (+~26%) and overwrite
+// (~2.3x) because appends never reclaim outdated records.
+#include <cstdio>
+#include <vector>
+
+#include "workload/harness.h"
+
+using namespace iamdb;
+using namespace iamdb::bench;
+
+int main(int argc, char** argv) {
+  double scale = ParseScale(argc, argv, 0.4);
+  ScaleConfig config = ScaleConfig::Gb100();
+  config.num_records = Scaled(config.num_records, scale);
+  const uint64_t n = config.num_records;
+
+  std::printf("=== Figure 10: space usage (MB) after write tests ===\n");
+  std::vector<SystemId> systems = {SystemId::kL, SystemId::kR1, SystemId::kA1,
+                                   SystemId::kI1};
+
+  struct Test {
+    const char* name;
+    int mode;  // 0=fillseq 1=hash 2=fillrandom 3=overwrite
+  };
+  const std::vector<Test> tests = {
+      {"fillseq", 0}, {"hash-load", 1}, {"fillrandom", 2}, {"overwrite", 3}};
+
+  std::printf("  %-11s", "test");
+  for (SystemId id : systems) std::printf(" %8s", SystemName(id));
+  std::printf("\n");
+
+  for (const Test& test : tests) {
+    std::printf("  %-11s", test.name);
+    std::fflush(stdout);
+    for (SystemId id : systems) {
+      BenchDb bench(id, config);
+      switch (test.mode) {
+        case 0:
+          Load(&bench, n, /*ordered=*/true);
+          break;
+        case 1:
+          Load(&bench, n, /*ordered=*/false);
+          break;
+        case 2:
+          // Random inserts with collisions: draw n keys from a space of
+          // n/2 distinct keys -> ~half the writes are updates.
+          Load(&bench, n / 2, /*ordered=*/false);
+          Overwrite(&bench, n / 2, /*random_order=*/true, 11);
+          break;
+        case 3:
+          // Load once, then overwrite everything once in random order.
+          Load(&bench, n / 2, /*ordered=*/false);
+          Overwrite(&bench, n, /*random_order=*/true, 13);
+          break;
+      }
+      bench.db()->WaitForQuiescence();
+      DbStats stats = bench.db()->GetStats();
+      std::printf(" %8.1f", stats.space_used_bytes / 1048576.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 8: *stable* throughputs for the query-intensive workloads (B, C,
+// D, E, G) on SSD-100G.  "Stable" = after the tuning phase: the database is
+// fully settled (WaitForQuiescence) before measuring, which favours the
+// LSMs (paper Sec 6.4).  Expected shape: B/C/D near-equal across systems,
+// LSA ~2.9x worse on E and ~11% down on G, IAM equal to LevelDB on both.
+#include <cstdio>
+#include <vector>
+
+#include "workload/harness.h"
+
+using namespace iamdb;
+using namespace iamdb::bench;
+
+int main(int argc, char** argv) {
+  double scale = ParseScale(argc, argv, 0.35);
+  ScaleConfig config = ScaleConfig::Gb100();
+  config.num_records = Scaled(config.num_records, scale);
+
+  std::printf("=== Figure 8: stable query throughput, SSD-100G ===\n");
+  const std::string workloads = "BCDEG";
+  std::vector<SystemId> systems = {SystemId::kL, SystemId::kR1, SystemId::kA1,
+                                   SystemId::kI1};
+
+  std::vector<std::vector<double>> table(workloads.size());
+  for (SystemId id : systems) {
+    BenchDb bench(id, config);
+    Load(&bench, config.num_records, /*ordered=*/false,
+         SettleMode::kSettleOutside);
+    const uint64_t ops = std::max<uint64_t>(2000, config.num_records / 16);
+    for (size_t wi = 0; wi < workloads.size(); wi++) {
+      char w = workloads[wi];
+      // "Stable": fully settled before every measurement window, so no
+      // phase inherits another's compaction traffic.
+      bench.db()->WaitForQuiescence();
+      uint64_t run_ops = ops;
+      // Write-heavy mixes need enough volume that deferred-compaction
+      // batching (e.g. the L0 trigger) amortizes inside the window.
+      if (w == 'A' || w == 'F') run_ops = ops * 6;
+      if (w == 'E') run_ops = std::max<uint64_t>(400, ops / 10);
+      if (w == 'G') run_ops = std::max<uint64_t>(60, ops / 64);
+      RunResult r =
+          RunWorkload(&bench, WorkloadSpec::Ycsb(w), run_ops, 7000 + w,
+                      /*settle_in_window=*/true);
+      table[wi].push_back(r.Throughput("SSD"));
+    }
+    std::printf("  [%s done]\n", SystemName(id));
+  }
+
+  std::printf("\nFig8 SSD-100G stable (normalized to L):\n  %-4s", "WL");
+  for (SystemId id : systems) std::printf(" %8s", SystemName(id));
+  std::printf("\n");
+  for (size_t wi = 0; wi < workloads.size(); wi++) {
+    std::printf("  %-4c", workloads[wi]);
+    for (double v : table[wi]) {
+      std::printf(" %8.2f", table[wi][0] > 0 ? v / table[wi][0] : 0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

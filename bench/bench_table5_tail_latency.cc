@@ -1,0 +1,81 @@
+// Table 5: 99th-percentile latency for the query-intensive workloads (B, C,
+// D, E, G) under SSD-100G, HDD-100G and HDD-1T.  Expected shape (paper Sec
+// 6.4/6.5): IamDB (I) takes first or second place everywhere; LSA wins some
+// point-read mixes but collapses on scans; the LSMs pay for overflow
+// compaction traffic.
+#include <cstdio>
+#include <vector>
+
+#include "workload/harness.h"
+
+using namespace iamdb;
+using namespace iamdb::bench;
+
+int main(int argc, char** argv) {
+  double scale = ParseScale(argc, argv, 0.25);
+  const std::string workloads = "BCDEG";
+  std::vector<SystemId> systems = {SystemId::kL, SystemId::kR1, SystemId::kA1,
+                                   SystemId::kI1};
+
+  struct Dataset {
+    const char* name;
+    ScaleConfig config;
+  };
+  ScaleConfig gb100 = ScaleConfig::Gb100();
+  gb100.num_records = Scaled(gb100.num_records, scale);
+  ScaleConfig tb1 = ScaleConfig::Tb1();
+  tb1.num_records = Scaled(tb1.num_records, scale);
+
+  std::printf("=== Table 5: p99 latencies (ms, modeled device time) ===\n");
+
+  for (const Dataset& dataset :
+       {Dataset{"100G", gb100}, Dataset{"1T", tb1}}) {
+    // p99[workload][system] = (ssd ms, hdd ms)
+    std::vector<std::vector<std::pair<double, double>>> p99(
+        workloads.size(), std::vector<std::pair<double, double>>());
+    for (SystemId id : systems) {
+      BenchDb bench(id, dataset.config);
+      Load(&bench, dataset.config.num_records, /*ordered=*/false,
+           SettleMode::kSettleOutside, /*pace_debt_bytes=*/3 << 20);
+      const uint64_t ops =
+          std::max<uint64_t>(2000, dataset.config.num_records / 24);
+      for (size_t wi = 0; wi < workloads.size(); wi++) {
+        char w = workloads[wi];
+        bench.db()->WaitForQuiescence();
+        uint64_t run_ops = ops;
+        // Write-heavy mixes need enough volume that deferred-compaction
+        // batching (e.g. the L0 trigger) amortizes inside the window.
+        if (w == 'A' || w == 'F') run_ops = ops * 6;
+        if (w == 'E') run_ops = std::max<uint64_t>(400, ops / 10);
+        if (w == 'G') run_ops = std::max<uint64_t>(60, ops / 64);
+        RunResult r = RunWorkload(&bench, WorkloadSpec::Ycsb(w), run_ops, 5000 + w,
+                                  /*settle_in_window=*/true);
+        p99[wi].emplace_back(r.ssd_latency_us.Percentile(99) / 1000.0,
+                             r.hdd_latency_us.Percentile(99) / 1000.0);
+      }
+      std::printf("  [%s/%s done]\n", dataset.name, SystemName(id));
+    }
+
+    auto print_device = [&](const char* device, bool ssd) {
+      std::printf("\nTable 5 %s-%s p99 (ms):\n  %-4s", device, dataset.name,
+                  "WL");
+      for (SystemId id : systems) std::printf(" %9s", SystemName(id));
+      std::printf("\n");
+      for (size_t wi = 0; wi < workloads.size(); wi++) {
+        std::printf("  %-4c", workloads[wi]);
+        for (const auto& [s, h] : p99[wi]) {
+          std::printf(" %9.2f", ssd ? s : h);
+        }
+        std::printf("\n");
+      }
+    };
+    if (std::string(dataset.name) == "100G") {
+      print_device("SSD", true);
+      print_device("HDD", false);
+    } else {
+      print_device("HDD", false);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "workload/generators.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace iamdb::bench {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rnd_(seed) {
+  zeta2_ = Zeta(0, 2);
+  zeta_n_ = Zeta(0, n_);
+  Recompute();
+}
+
+double ZipfianGenerator::Zeta(uint64_t from, uint64_t to) {
+  double sum = (from == 0) ? 0 : zeta_n_;
+  for (uint64_t i = from; i < to; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+  }
+  return sum;
+}
+
+void ZipfianGenerator::Recompute() {
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zeta_n_);
+}
+
+void ZipfianGenerator::SetN(uint64_t n) {
+  if (n <= n_) return;
+  zeta_n_ = Zeta(n_, n);
+  n_ = n;
+  Recompute();
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rnd_.NextDouble();
+  double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+namespace {
+inline uint64_t FnvHash64(uint64_t v) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (int i = 0; i < 8; i++) {
+    uint64_t octet = v & 0xff;
+    v >>= 8;
+    hash ^= octet;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+}  // namespace
+
+uint64_t ScrambledZipfianGenerator::Next() {
+  return FnvHash64(zipf_.Next()) % n_;
+}
+
+uint64_t LatestGenerator::Next() {
+  uint64_t n = zipf_.n();
+  uint64_t off = zipf_.Next();
+  return n - 1 - (off % n);
+}
+
+std::string HashedKey(uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%016llu",
+                static_cast<unsigned long long>(FnvHash64(index)));
+  return buf;
+}
+
+std::string OrderedKey(uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%016llu",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::string MakeValue(uint64_t index, size_t size) {
+  std::string value;
+  value.reserve(size);
+  uint64_t state = FnvHash64(index + 0x5bd1e995);
+  while (value.size() < size) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    char c = 'a' + (state % 26);
+    value.append(8, c);
+  }
+  value.resize(size);
+  return value;
+}
+
+}  // namespace iamdb::bench

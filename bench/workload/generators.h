@@ -1,0 +1,77 @@
+// Key/value and request-distribution generators replicating the YCSB core
+// distributions (uniform, zipfian with scrambling, latest) and the db_bench
+// generators (fillseq, fillrandom, overwrite) used in the paper's
+// evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+
+namespace iamdb::bench {
+
+// Zipfian over [0, n), theta = 0.99 (the YCSB constant).  Uses the
+// Gray et al. computation with an incremental zeta so n can grow (for the
+// "latest" distribution).
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(uint64_t n, double theta = 0.99,
+                            uint64_t seed = 12345);
+
+  uint64_t Next();
+  // Grow the domain (records inserted since construction).
+  void SetN(uint64_t n);
+  uint64_t n() const { return n_; }
+
+ private:
+  double Zeta(uint64_t from, uint64_t to);
+  void Recompute();
+
+  uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double alpha_, eta_, zeta2_;
+  Random64 rnd_;
+};
+
+// Scrambled zipfian: zipfian popularity ranks spread uniformly over the key
+// space via hashing (YCSB's default for workloads A/B/C/F).
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(uint64_t n, uint64_t seed = 12345)
+      : n_(n), zipf_(n, 0.99, seed) {}
+
+  uint64_t Next();
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+// Latest: most-recently-inserted records are hottest (workload D).
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t n, uint64_t seed = 12345)
+      : zipf_(n, 0.99, seed) {}
+
+  void SetN(uint64_t n) { zipf_.SetN(n); }
+  // Returns an index in [0, n), biased toward n-1.
+  uint64_t Next();
+
+ private:
+  ZipfianGenerator zipf_;
+};
+
+// YCSB-style key: "user" + zero-padded FNV hash of the index, so inserts
+// arrive in hash order ("hash load", paper Sec 6.2).
+std::string HashedKey(uint64_t index);
+
+// Ordered key for sequential loads / db_bench fillseq.
+std::string OrderedKey(uint64_t index);
+
+// Deterministic pseudo-random value of `size` bytes seeded by the index
+// (compressibility does not matter: compression is off, paper Sec 6.1).
+std::string MakeValue(uint64_t index, size_t size);
+
+}  // namespace iamdb::bench

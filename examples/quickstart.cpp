@@ -1,0 +1,86 @@
+// Quickstart: open an IAM-tree database on the real filesystem, write,
+// read, scan, snapshot, and inspect amplification statistics.
+//
+//   ./quickstart [db_path]     (default /tmp/iamdb_quickstart)
+#include <cstdio>
+#include <memory>
+
+#include "core/db.h"
+#include "env/env.h"
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/iamdb_quickstart";
+
+  iamdb::Options options;
+  options.env = iamdb::Env::Default();
+  options.engine = iamdb::EngineType::kAmt;      // the IAM-tree
+  options.amt.policy = iamdb::AmtPolicy::kIam;   // appends above the cache
+                                                 // boundary, merges below
+  options.node_capacity = 4 << 20;               // Ct = 4MB nodes
+
+  iamdb::DestroyDB(path, options);  // fresh start for the demo
+  std::unique_ptr<iamdb::DB> db;
+  iamdb::Status s = iamdb::DB::Open(options, path, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // --- basic writes and reads ---
+  db->Put({}, "language", "C++20");
+  db->Put({}, "tree", "IAM");
+  db->Put({}, "paper", "ICPP 2019");
+
+  std::string value;
+  s = db->Get({}, "tree", &value);
+  std::printf("tree = %s\n", value.c_str());
+
+  // --- atomic batch ---
+  iamdb::WriteBatch batch;
+  batch.Put("batch/a", "1");
+  batch.Put("batch/b", "2");
+  batch.Delete("paper");
+  db->Write({}, &batch);
+
+  // --- snapshot isolation ---
+  const iamdb::Snapshot* snap = db->GetSnapshot();
+  db->Put({}, "tree", "IAM v2");
+  iamdb::ReadOptions at_snap;
+  at_snap.snapshot = snap;
+  std::string old_value, new_value;
+  db->Get(at_snap, "tree", &old_value);
+  db->Get({}, "tree", &new_value);
+  std::printf("tree @snapshot = %s, latest = %s\n", old_value.c_str(),
+              new_value.c_str());
+  db->ReleaseSnapshot(snap);
+
+  // --- range scan ---
+  std::printf("scan:\n");
+  std::unique_ptr<iamdb::Iterator> iter(db->NewIterator({}));
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    std::printf("  %s = %s\n", iter->key().ToString().c_str(),
+                iter->value().ToString().c_str());
+  }
+
+  // --- bulk write + amplification stats ---
+  char key[32];
+  std::string payload(512, 'x');
+  for (int i = 0; i < 50000; i++) {
+    std::snprintf(key, sizeof(key), "bulk%08d", i * 7919 % 50000);
+    db->Put({}, key, payload);
+  }
+  db->WaitForQuiescence();
+
+  iamdb::DbStats stats = db->GetStats();
+  std::printf("\nafter bulk load:\n");
+  std::printf("  write amplification (log excluded): %.2f\n",
+              stats.total_write_amp);
+  std::printf("  mixed level m=%d, k=%d\n", stats.mixed_level,
+              stats.mixed_level_k);
+  for (size_t i = 0; i < stats.level_node_counts.size(); i++) {
+    std::printf("  L%zu: %d nodes, %.1f MB\n", i + 1,
+                stats.level_node_counts[i], stats.level_bytes[i] / 1048576.0);
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// AmtEngine: the Log-Structured Append-tree (LSA) and the Integrated
+// Append/Merge-tree (IAM) — the paper's contribution.
+//
+// Structure (Sec 4.1): the memtable is L0; on-disk levels L1..Ln hold
+// disjoint-range MSTable nodes, at most t^i nodes in Li (internal), fewer
+// than t^n at the leaf.  A node holds up to Ct bytes across one or more
+// sorted sequences.
+//
+// Operations (Sec 4.2):
+//  * flush   — a full node's data is merged in memory, partitioned by the
+//              key ranges of the overlapping children, and appended to (or
+//              merged with) them; the node itself remains as an empty
+//              range placeholder.  A node with no children moves down by a
+//              metadata-only edit (free sequential loads).
+//  * split   — a full node with >= 2t children rewrites itself into two
+//              nodes with half the children each (bounds the worst write
+//              case).
+//  * combine — when Ni > t^i, the node with the smallest Tcn (children
+//              covered by it and its two neighbours, <= 3t) flushes all its
+//              data down and disappears, restoring Ni = t^i.
+//
+// Append-vs-merge policy (Sec 5.1):
+//  * LSA: append unless the child is full (leaf children merge when full).
+//  * IAM: levels above the mixed level m append; the mixed level appends
+//    until a child holds k sequences, then merges; levels below m always
+//    merge.  (m, k) auto-tunes to the cache budget per Eq. 1-2.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/amt/amt_tuner.h"
+#include "core/compaction_stream.h"
+#include "core/tree_engine.h"
+#include "stats/amp_stats.h"
+
+namespace iamdb {
+
+class DBImpl;
+
+class AmtEngine final : public TreeEngine {
+ public:
+  explicit AmtEngine(DBImpl* db);
+
+  Status Recover(const RecoveredState& state) override;
+  bool NeedsCompaction() const override;
+  Status BackgroundWork(bool* did_work) override;
+  Status Get(const ReadOptions& options, const LookupKey& key,
+             std::string* value) override;
+  void AddIterators(const ReadOptions& options,
+                    std::vector<Iterator*>* iters) override;
+  WritePressure GetWritePressure() const override;
+  void FillStats(DbStats* stats) const override;
+  TreeVersionPtr current_version() const override {
+    return current_.load(std::memory_order_acquire);
+  }
+  Status CheckInvariants(bool quiescent) const override;
+
+  // Current mixed-level decision (recomputed when the version changes).
+  MixedLevelChoice mixed_level() const {
+    return mixed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Job {
+    enum class Type { kGrow, kFlushImm, kFlushNode, kSplit, kCombine } type;
+    int level = -1;  // version index of `node` (paper level - 1)
+    NodePtr node;
+    std::vector<NodePtr> targets;  // overlapping children (next level)
+  };
+
+  // Structural changes accumulated while flushing into a target set.
+  struct FlushDelta {
+    std::vector<std::pair<int, uint64_t>> removed;
+    std::vector<std::pair<int, NodePtr>> added;
+    std::vector<std::shared_ptr<FileLifetime>> obsolete;
+    VersionEdit edit;
+    int new_num_levels = 0;
+  };
+
+  // Paper-level (1-based) classification.
+  bool IsAppendLevel(int paper_level) const;
+  bool IsMixedLevel(int paper_level) const;
+
+  int Fanout() const;
+  uint64_t NodeCapacity() const;
+  uint64_t LevelNodeLimit(int version_index) const;  // t^(index+1)
+
+  // Picker (mutex held): deepest structural violation first.
+  bool PickJob(const TreeVersion& version, Job* job);
+  bool AnyBusy(const Job& job) const;
+  void MarkBusy(const Job& job);
+  void ClearBusy(const Job& job);
+
+  // Children of `node` (at version index `level`) = next-level nodes whose
+  // range overlaps the node's range.
+  std::vector<NodePtr> Children(const TreeVersion& version, int level,
+                                const NodeMeta& node) const;
+
+  // Executors (mutex held on entry/exit, unlocked around I/O).
+  Status RunGrow();
+  Status RunFlushImm(const Job& job);
+  Status RunFlushNode(const Job& job, bool destroy_parent);
+  Status RunSplit(const Job& job);
+
+  // Drains a visibility-filtered record stream into the range-sorted
+  // targets at version index `tlevel`, appending or merging per policy.
+  // Mutex NOT held.
+  Status FlushInto(CompactionStream* source, int tlevel,
+                   const std::vector<NodePtr>& targets, bool is_leaf,
+                   WriteReason append_reason, FlushDelta* delta);
+
+  // Apply a structural delta to the latest version and publish.
+  void ApplyToVersion(
+      const std::vector<std::pair<int, uint64_t>>& removed,
+      const std::vector<std::pair<int, NodePtr>>& added, int new_num_levels);
+
+  void RecomputeMixedLevel();
+
+  NodeEdit ToEdit(const NodeMeta& node, int level) const;
+  NodePtr MakeEmptyNode(uint64_t node_id, const std::string& lo,
+                        const std::string& hi) const;
+
+  DBImpl* db_;
+  std::atomic<TreeVersionPtr> current_;
+  std::set<uint64_t> busy_nodes_;  // node ids owned by running jobs
+  bool imm_flush_running_ = false;
+  // Written under the DB mutex; read lock-free from reads/stats/flushes.
+  std::atomic<MixedLevelChoice> mixed_{MixedLevelChoice{}};
+};
+
+}  // namespace iamdb

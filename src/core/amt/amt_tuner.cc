@@ -1,0 +1,56 @@
+#include "core/amt/amt_tuner.h"
+
+namespace iamdb {
+
+MixedLevelChoice ChooseMixedLevel(const std::vector<uint64_t>& level_bytes,
+                                  int fanout, int max_k, uint64_t budget) {
+  const int n = static_cast<int>(level_bytes.size());
+  MixedLevelChoice choice;
+  if (n == 0) {
+    choice.m = 1;
+    choice.k = max_k;
+    return choice;
+  }
+
+  // Largest m first (paper: "the largest m and k satisfying the inequality
+  // is preferred").  m ranges over 1..n+1; m = n+1 means all-append (LSA
+  // shape) and requires the whole store to fit in the budget.
+  for (int m = n + 1; m >= 1; m--) {
+    uint64_t upper = 0;  // sum of D_j for j < m
+    bool overflow = false;
+    for (int j = 1; j < m; j++) {
+      upper += level_bytes[j - 1];
+      if (upper > budget) {
+        overflow = true;
+        break;
+      }
+    }
+    if (overflow) continue;
+
+    if (m == n + 1) {
+      choice.m = m;
+      choice.k = max_k;
+      return choice;
+    }
+    const uint64_t dm = level_bytes[m - 1];
+    for (int k = max_k; k >= 1; k--) {
+      // Eq. 1: S(m,k) = D_m * (k-1) / t.
+      uint64_t appended = dm * static_cast<uint64_t>(k - 1) /
+                          static_cast<uint64_t>(fanout);
+      if (upper + appended <= budget) {
+        choice.m = m;
+        choice.k = k;
+        return choice;
+      }
+    }
+    // Even k=1 does not fit: the mixed level must move up.
+  }
+
+  // Budget smaller than D_... nothing fits: mixed level is L1 with k=1
+  // (merge everywhere — the degenerate LSM shape).
+  choice.m = 1;
+  choice.k = 1;
+  return choice;
+}
+
+}  // namespace iamdb

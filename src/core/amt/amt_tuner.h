@@ -1,0 +1,29 @@
+// Mixed-level tuner: picks the paper's (m, k) from the memory budget.
+//
+// Paper Sec 5.1.3: the average appended-sequence volume of the mixed level
+// with parameter k is  S(m,k) = D_m * (k-1) / t   (Eq. 1), and (m, k) must
+// satisfy  sum_{j<m} D_j + S(m,k) <= M            (Eq. 2)
+// where M is the memory available for caching appended sequences.  The
+// largest m, then the largest k, wins (smaller write amplification).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+
+namespace iamdb {
+
+struct MixedLevelChoice {
+  // 1-based paper level index of the mixed level; n+1 means every on-disk
+  // level is an appending level (the LSA limit).  0 means "no levels yet".
+  int m = 0;
+  int k = 1;
+};
+
+// level_bytes[j] = D_{j+1} (bytes stored in paper level j+1); t = fanout;
+// budget = usable cache bytes (M, already scaled by the fraction).
+MixedLevelChoice ChooseMixedLevel(const std::vector<uint64_t>& level_bytes,
+                                  int fanout, int max_k, uint64_t budget);
+
+}  // namespace iamdb

@@ -1,0 +1,60 @@
+// CompactionStream: wraps a merged (internal-key-ordered) input and emits
+// only the records that must survive a rewrite:
+//  * for each user key, the newest version is always kept;
+//  * older versions are kept only while they are the newest visible version
+//    for some live snapshot (<= smallest_snapshot rule);
+//  * deletion tombstones are additionally dropped when the output is the
+//    bottommost data for the key (nothing deeper could be shadowed).
+//
+// This is the "merges eliminate outdated records" machinery (paper Secs 2,
+// 5.3.3).  Appends bypass it entirely — which is exactly why append trees
+// carry space amplification.
+#pragma once
+
+#include <memory>
+
+#include "core/dbformat.h"
+#include "table/iterator.h"
+
+namespace iamdb {
+
+class CompactionStream {
+ public:
+  // Takes ownership of `input`, which must yield internal keys in
+  // increasing order (a MergingIterator output).
+  CompactionStream(Iterator* input, SequenceNumber smallest_snapshot,
+                   bool bottommost)
+      : input_(input),
+        smallest_snapshot_(smallest_snapshot),
+        bottommost_(bottommost) {
+    input_->SeekToFirst();
+    Advance();
+  }
+
+  bool Valid() const { return valid_; }
+  Slice key() const { return Slice(current_key_); }
+  Slice value() const { return Slice(current_value_); }
+  void Next() { Advance(); }
+  Status status() const { return input_->status(); }
+
+  uint64_t entries_dropped() const { return dropped_; }
+
+ private:
+  void Advance();
+
+  std::unique_ptr<Iterator> input_;
+  const SequenceNumber smallest_snapshot_;
+  const bool bottommost_;
+
+  bool valid_ = false;
+  std::string current_key_;
+  std::string current_value_;
+  std::string last_user_key_;
+  bool has_last_user_key_ = false;
+  // Sequence of the last emitted-or-dropped entry <= smallest_snapshot for
+  // last_user_key_ (kMaxSequenceNumber when none seen yet).
+  SequenceNumber last_sequence_for_key_ = kMaxSequenceNumber;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace iamdb

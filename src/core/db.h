@@ -1,0 +1,106 @@
+// Public API of IamDB — a persistent, crash-recovering, MVCC key-value
+// store whose on-disk organisation is selected by Options::engine:
+// a leveled LSM (the paper's LevelDB/RocksDB baseline), the LSA-tree, or
+// the IAM-tree.
+//
+//   iamdb::Options options;
+//   options.env = iamdb::Env::Default();
+//   options.engine = iamdb::EngineType::kAmt;      // IAM by default
+//   std::unique_ptr<iamdb::DB> db;
+//   auto s = iamdb::DB::Open(options, "/tmp/mydb", &db);
+//   db->Put({}, "key", "value");
+//   std::string v;
+//   db->Get({}, "key", &v);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/options.h"
+#include "memtable/write_batch.h"
+#include "stats/amp_stats.h"
+#include "stats/io_stats.h"
+#include "table/iterator.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace iamdb {
+
+class Snapshot;
+
+// Point-in-time statistics a benchmark can sample.
+struct DbStats {
+  double total_write_amp = 0;           // excludes WAL (paper convention)
+  std::vector<double> level_write_amp;  // [0] = first on-disk level
+  std::vector<uint64_t> level_bytes;
+  std::vector<int> level_node_counts;
+  uint64_t user_bytes = 0;
+  uint64_t space_used_bytes = 0;  // live table file footprint
+  uint64_t cache_usage = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  int mixed_level = 0;  // AMT engines: current m (0 = none/unknown)
+  int mixed_level_k = 0;
+  // Estimated bytes of outstanding compaction work (engine-specific).
+  uint64_t pending_debt_bytes = 0;
+  uint64_t stall_micros = 0;
+  IoStatsSnapshot io;
+};
+
+class DB {
+ public:
+  // Opens (creating if allowed) the database at `name`.
+  static Status Open(const Options& options, const std::string& name,
+                     std::unique_ptr<DB>* dbptr);
+
+  DB() = default;
+  virtual ~DB() = default;
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value);
+  virtual Status Delete(const WriteOptions& options, const Slice& key);
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+
+  // NotFound if the key is absent (or deleted) at the read point.
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  // Bidirectional iterator over user keys (forward range scans are the
+  // paper's workloads; reverse iteration is supported too).  Caller
+  // deletes the iterator before the DB is closed.
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  // Blocks until all pending flushes/compactions are complete (benchmark
+  // settling; the paper's "stable performance" measurements).
+  virtual Status WaitForQuiescence() = 0;
+
+  // Forces the immutable memtable (if any) plus current memtable contents
+  // to be flushed and compactions drained.
+  virtual Status FlushAll() = 0;
+
+  virtual DbStats GetStats() = 0;
+  virtual const AmpStats& amp_stats() const = 0;
+
+  // Human-readable introspection (LevelDB-style).  Supported properties:
+  //   "iamdb.stats"   — amplification summary (per level / per reason)
+  //   "iamdb.levels"  — node count, bytes and sequences per level
+  //   "iamdb.approximate-memory-usage" — memtable + cache bytes
+  // Returns false for unknown properties.
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  // Validates the engine's structural invariants (testing hook).  Pass
+  // quiescent=true only after WaitForQuiescence.
+  virtual Status CheckInvariants(bool quiescent) = 0;
+};
+
+// Deletes all files of the named database.
+Status DestroyDB(const std::string& name, const Options& options);
+
+}  // namespace iamdb

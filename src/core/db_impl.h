@@ -1,0 +1,130 @@
+// DBImpl: the shared half of the database — WAL + group commit, memtable
+// rotation, snapshots, stall control, background scheduling, recovery and
+// file garbage collection.  The on-disk half is a TreeEngine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "core/db.h"
+#include "core/dbformat.h"
+#include "core/manifest.h"
+#include "core/snapshot.h"
+#include "core/tree_engine.h"
+#include "env/counting_env.h"
+#include "memtable/memtable.h"
+#include "table/cache.h"
+#include "util/thread_pool.h"
+#include "wal/log_writer.h"
+
+namespace iamdb {
+
+struct WriterItem;
+
+class DBImpl final : public DB {
+ public:
+  DBImpl(const Options& options, const std::string& dbname);
+  ~DBImpl() override;
+
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  Status WaitForQuiescence() override;
+  Status FlushAll() override;
+  DbStats GetStats() override;
+  const AmpStats& amp_stats() const override { return amp_stats_; }
+  Status CheckInvariants(bool quiescent) override {
+    return engine_->CheckInvariants(quiescent);
+  }
+  bool GetProperty(const Slice& property, std::string* value) override;
+
+  // ---- Engine-facing surface (engines run under mutex_ unless noted) ----
+
+  Env* env() { return counting_env_.get(); }
+  const Options& options() const { return options_; }
+  const std::string& dbname() const { return dbname_; }
+  const InternalKeyComparator* icmp() const { return &icmp_; }
+  AmpStats* amp_stats_mutable() { return &amp_stats_; }
+  LruCache* block_cache() { return block_cache_.get(); }
+
+  std::mutex& mutex() { return mutex_; }
+  MemTable* imm() { return imm_; }
+
+  uint64_t NewFileNumber() { return next_file_number_++; }   // mutex held
+  uint64_t NewNodeId() { return next_node_id_++; }           // mutex held
+
+  // Oldest sequence any live snapshot can observe (mutex held).
+  SequenceNumber SmallestSnapshot() const {
+    return snapshots_.empty() ? last_sequence_ : snapshots_.oldest()->sequence();
+  }
+
+  // Durably apply an edit (mutex held).  Counters are stamped in.
+  Status LogEdit(VersionEdit* edit);
+
+  // Called by the engine after the imm flush edit is applied (mutex held):
+  // releases the immutable memtable and obsolete WAL files.
+  void ImmFlushed();
+
+  uint64_t CurrentLogNumber() const { return log_number_; }  // mutex held
+
+ private:
+  friend class DB;
+
+  Status Recover();
+  Status Initialize();  // Recover + engine construction; called by Open
+  Status WriteSnapshotManifest();  // fresh MANIFEST with full state
+  Status ReplayWal(uint64_t log_number, SequenceNumber* max_sequence);
+  Status SwitchMemTable();  // mutex held
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+  WriteBatch* BuildBatchGroup(WriterItem** last_writer);
+  void MaybeScheduleBackgroundWork();  // mutex held
+  void BackgroundCall();
+  void RemoveObsoleteFiles();  // mutex held (open/flush time)
+  Iterator* NewInternalIterator(const ReadOptions& options,
+                                SequenceNumber* latest_snapshot);
+
+  Options options_;
+  std::string dbname_;
+  IoStats io_stats_;
+  std::unique_ptr<CountingEnv> counting_env_;
+  AmpStats amp_stats_;
+  std::unique_ptr<LruCache> block_cache_;
+  InternalKeyComparator icmp_;
+
+  std::mutex mutex_;
+  std::condition_variable bg_cv_;
+  std::atomic<bool> shutting_down_{false};
+
+  MemTable* mem_ = nullptr;
+  MemTable* imm_ = nullptr;
+  std::unique_ptr<WritableFile> log_file_;
+  std::unique_ptr<log::Writer> log_;
+  uint64_t log_number_ = 0;
+  std::set<uint64_t> old_log_numbers_;  // released once imm flushes
+
+  SequenceNumber last_sequence_ = 0;
+  uint64_t next_file_number_ = 2;
+  uint64_t next_node_id_ = 1;
+
+  std::deque<WriterItem*> writers_;
+  WriteBatch group_batch_;
+  SnapshotList snapshots_;
+
+  std::unique_ptr<ManifestWriter> manifest_;
+  std::unique_ptr<TreeEngine> engine_;
+  std::unique_ptr<ThreadPool> pool_;
+  int bg_scheduled_ = 0;
+  Status bg_error_;
+  std::atomic<uint64_t> stall_micros_{0};
+  RecoveredState recovered_;  // staging between Recover and engine init
+};
+
+}  // namespace iamdb

@@ -1,0 +1,227 @@
+#include "core/db_iter.h"
+
+#include <memory>
+#include <string>
+
+namespace iamdb {
+
+namespace {
+
+// Bidirectional user-facing iterator over the merged internal stream.
+//
+// Forward mode: iter_ sits ON the entry being exposed; key()/value() read
+// through.  Reverse mode: iter_ sits BEFORE all entries of the exposed user
+// key and the exposed pair lives in saved_key_/saved_value_ — the classic
+// LevelDB arrangement, which makes direction switches cheap.
+class DBIter final : public Iterator {
+ public:
+  DBIter(Iterator* internal_iter, SequenceNumber sequence)
+      : iter_(internal_iter), sequence_(sequence) {}
+
+  bool Valid() const override { return valid_; }
+
+  Slice key() const override {
+    assert(valid_);
+    return direction_ == kForward ? ExtractUserKey(iter_->key())
+                                  : Slice(saved_key_);
+  }
+  Slice value() const override {
+    assert(valid_);
+    return direction_ == kForward ? iter_->value() : Slice(saved_value_);
+  }
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    return iter_->status();
+  }
+
+  void Seek(const Slice& target) override {
+    direction_ = kForward;
+    ClearSaved();
+    saved_key_.clear();
+    AppendInternalKey(&saved_key_,
+                      ParsedInternalKey(target, sequence_, kValueTypeForSeek));
+    iter_->Seek(saved_key_);
+    saved_key_.clear();
+    if (iter_->Valid()) {
+      FindNextUserEntry(false /* not skipping */);
+    } else {
+      valid_ = false;
+    }
+  }
+
+  void SeekToFirst() override {
+    direction_ = kForward;
+    ClearSaved();
+    iter_->SeekToFirst();
+    if (iter_->Valid()) {
+      FindNextUserEntry(false);
+    } else {
+      valid_ = false;
+    }
+  }
+
+  void SeekToLast() override {
+    direction_ = kReverse;
+    ClearSaved();
+    iter_->SeekToLast();
+    FindPrevUserEntry();
+  }
+
+  void Next() override {
+    assert(valid_);
+    if (direction_ == kReverse) {
+      // iter_ is before saved_key_'s entries; move to the first entry at
+      // or past it, then skip the current user key.
+      direction_ = kForward;
+      if (!iter_->Valid()) {
+        iter_->SeekToFirst();
+      } else {
+        iter_->Next();
+      }
+      if (!iter_->Valid()) {
+        valid_ = false;
+        saved_key_.clear();
+        return;
+      }
+      // saved_key_ holds the just-exposed user key: skip all its versions.
+    } else {
+      SaveKey(ExtractUserKey(iter_->key()));
+      iter_->Next();
+      if (!iter_->Valid()) {
+        valid_ = false;
+        saved_key_.clear();
+        return;
+      }
+    }
+    FindNextUserEntry(true /* skip saved_key_ */);
+  }
+
+  void Prev() override {
+    assert(valid_);
+    if (direction_ == kForward) {
+      // iter_ is ON the current entry.  Walk back past every entry whose
+      // user key is >= the current one.
+      SaveKey(ExtractUserKey(iter_->key()));
+      while (true) {
+        iter_->Prev();
+        if (!iter_->Valid()) {
+          valid_ = false;
+          saved_key_.clear();
+          ClearSaved();
+          return;
+        }
+        if (ExtractUserKey(iter_->key()).compare(Slice(saved_key_)) < 0) {
+          break;
+        }
+      }
+      direction_ = kReverse;
+    }
+    FindPrevUserEntry();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void SaveKey(const Slice& k) { saved_key_.assign(k.data(), k.size()); }
+  void ClearSaved() {
+    saved_value_.clear();
+    saved_value_.shrink_to_fit();
+  }
+
+  bool ParseKey(ParsedInternalKey* ikey) {
+    if (!ParseInternalKey(iter_->key(), ikey)) {
+      status_ = Status::Corruption("malformed internal key");
+      return false;
+    }
+    return true;
+  }
+
+  // Forward scan to the newest visible, non-deleted entry; when `skipping`,
+  // also skip everything <= saved_key_ (the user key just consumed).
+  void FindNextUserEntry(bool skipping) {
+    assert(direction_ == kForward);
+    do {
+      ParsedInternalKey ikey;
+      if (!ParseKey(&ikey)) {
+        valid_ = false;
+        return;
+      }
+      if (ikey.sequence <= sequence_) {
+        switch (ikey.type) {
+          case kTypeDeletion:
+            // Hide all older versions of this key.
+            SaveKey(ikey.user_key);
+            skipping = true;
+            break;
+          case kTypeValue:
+            if (skipping &&
+                ikey.user_key.compare(Slice(saved_key_)) <= 0) {
+              break;  // shadowed by a tombstone or already emitted
+            }
+            valid_ = true;
+            saved_key_.clear();
+            return;
+        }
+      }
+      iter_->Next();
+    } while (iter_->Valid());
+    saved_key_.clear();
+    valid_ = false;
+  }
+
+  // Backward scan: leaves iter_ before the entries of the emitted key and
+  // the newest visible pair in saved_key_/saved_value_.
+  void FindPrevUserEntry() {
+    assert(direction_ == kReverse);
+    ValueType value_type = kTypeDeletion;
+    if (iter_->Valid()) {
+      do {
+        ParsedInternalKey ikey;
+        if (!ParseKey(&ikey)) {
+          valid_ = false;
+          return;
+        }
+        if (ikey.sequence <= sequence_) {
+          if (value_type != kTypeDeletion &&
+              ikey.user_key.compare(Slice(saved_key_)) < 0) {
+            break;  // a complete, visible value for saved_key_ is in hand
+          }
+          value_type = ikey.type;
+          if (value_type == kTypeDeletion) {
+            saved_key_.clear();
+            ClearSaved();
+          } else {
+            SaveKey(ikey.user_key);
+            saved_value_.assign(iter_->value().data(), iter_->value().size());
+          }
+        }
+        iter_->Prev();
+      } while (iter_->Valid());
+    }
+    if (value_type == kTypeDeletion) {
+      // Ran off the beginning.
+      valid_ = false;
+      saved_key_.clear();
+      ClearSaved();
+      direction_ = kForward;
+    } else {
+      valid_ = true;
+    }
+  }
+
+  std::unique_ptr<Iterator> iter_;
+  const SequenceNumber sequence_;
+  Status status_;
+  std::string saved_key_;    // == current key in reverse; skip target forward
+  std::string saved_value_;  // == current value in reverse
+  Direction direction_ = kForward;
+  bool valid_ = false;
+};
+
+}  // namespace
+
+Iterator* NewDBIterator(Iterator* internal_iter, SequenceNumber sequence) {
+  return new DBIter(internal_iter, sequence);
+}
+
+}  // namespace iamdb

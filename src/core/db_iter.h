@@ -1,0 +1,15 @@
+// DBIter: turns the merged internal-key stream (memtables + every sequence
+// of every covering node) into the user-visible view at one sequence number:
+// newest visible version per key, tombstones hide older versions.
+// Fully bidirectional (Seek/Next/Prev/SeekToFirst/SeekToLast).
+#pragma once
+
+#include "core/dbformat.h"
+#include "table/iterator.h"
+
+namespace iamdb {
+
+// Takes ownership of internal_iter.
+Iterator* NewDBIterator(Iterator* internal_iter, SequenceNumber sequence);
+
+}  // namespace iamdb

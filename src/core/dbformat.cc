@@ -1,0 +1,104 @@
+#include "core/dbformat.h"
+
+#include <cstring>
+
+namespace iamdb {
+
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result) {
+  if (internal_key.size() < 8) return false;
+  uint64_t num = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  uint8_t c = num & 0xff;
+  result->sequence = num >> 8;
+  result->type = static_cast<ValueType>(c);
+  result->user_key = Slice(internal_key.data(), internal_key.size() - 8);
+  return c <= static_cast<uint8_t>(kTypeValue);
+}
+
+int InternalKeyComparator::Compare(const Slice& akey, const Slice& bkey) const {
+  int r = ExtractUserKey(akey).compare(ExtractUserKey(bkey));
+  if (r == 0) {
+    const uint64_t anum = DecodeFixed64(akey.data() + akey.size() - 8);
+    const uint64_t bnum = DecodeFixed64(bkey.data() + bkey.size() - 8);
+    if (anum > bnum) {
+      r = -1;  // higher sequence sorts first
+    } else if (anum < bnum) {
+      r = +1;
+    }
+  }
+  return r;
+}
+
+void InternalKeyComparator::FindShortestSeparator(std::string* start,
+                                                  const Slice& limit) const {
+  // Shorten the user-key portion if possible.
+  Slice user_start = ExtractUserKey(*start);
+  Slice user_limit = ExtractUserKey(limit);
+  std::string tmp(user_start.data(), user_start.size());
+
+  // Bytewise shortest separator on user keys.
+  size_t min_length = std::min(tmp.size(), user_limit.size());
+  size_t diff_index = 0;
+  while (diff_index < min_length &&
+         tmp[diff_index] == user_limit[diff_index]) {
+    diff_index++;
+  }
+  if (diff_index < min_length) {
+    uint8_t diff_byte = static_cast<uint8_t>(tmp[diff_index]);
+    if (diff_byte < 0xff &&
+        diff_byte + 1 < static_cast<uint8_t>(user_limit[diff_index])) {
+      tmp[diff_index]++;
+      tmp.resize(diff_index + 1);
+    }
+  }
+
+  if (tmp.size() < user_start.size() &&
+      Slice(user_start).compare(Slice(tmp)) < 0) {
+    // Shortened physically; append a maximal tag so it stays >= any internal
+    // key with this user key.
+    PutFixed64(&tmp, PackSequenceAndType(kMaxSequenceNumber,
+                                         kValueTypeForSeek));
+    start->swap(tmp);
+  }
+}
+
+void InternalKeyComparator::FindShortSuccessor(std::string* key) const {
+  Slice user_key = ExtractUserKey(*key);
+  std::string tmp(user_key.data(), user_key.size());
+  for (size_t i = 0; i < tmp.size(); i++) {
+    const uint8_t byte = static_cast<uint8_t>(tmp[i]);
+    if (byte != 0xff) {
+      tmp[i] = byte + 1;
+      tmp.resize(i + 1);
+      PutFixed64(&tmp, PackSequenceAndType(kMaxSequenceNumber,
+                                           kValueTypeForSeek));
+      key->swap(tmp);
+      return;
+    }
+  }
+  // All 0xff: leave unchanged.
+}
+
+LookupKey::LookupKey(const Slice& user_key, SequenceNumber s) {
+  size_t usize = user_key.size();
+  size_t needed = usize + 13;  // conservative
+  char* dst;
+  if (needed <= sizeof(space_)) {
+    dst = space_;
+  } else {
+    dst = new char[needed];
+  }
+  start_ = dst;
+  dst = EncodeVarint32(dst, static_cast<uint32_t>(usize + 8));
+  kstart_ = dst;
+  std::memcpy(dst, user_key.data(), usize);
+  dst += usize;
+  EncodeFixed64(dst, PackSequenceAndType(s, kValueTypeForSeek));
+  dst += 8;
+  end_ = dst;
+}
+
+LookupKey::~LookupKey() {
+  if (start_ != space_) delete[] start_;
+}
+
+}  // namespace iamdb

@@ -1,0 +1,129 @@
+// Internal key format and comparators.  Every record is stored under an
+// *internal key*:  user_key | tag(8B)  where tag = (sequence << 8) | type.
+// Sequence numbers give MVCC: higher sequence = newer version; snapshots pin
+// a sequence and see the newest version at or below it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace iamdb {
+
+using SequenceNumber = uint64_t;
+
+// Leaves room for the 8-bit type tag below it.
+static constexpr SequenceNumber kMaxSequenceNumber = ((0x1ull << 56) - 1);
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+// When seeking, we want the *newest* entry <= a sequence, and entries for a
+// user key sort by decreasing sequence; kTypeValue (1) sorts ahead of
+// kTypeDeletion (0) within a sequence, so seek tags use kTypeValue.
+static constexpr ValueType kValueTypeForSeek = kTypeValue;
+
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence = 0;
+  ValueType type = kTypeValue;
+
+  ParsedInternalKey() = default;
+  ParsedInternalKey(const Slice& u, SequenceNumber seq, ValueType t)
+      : user_key(u), sequence(seq), type(t) {}
+};
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | t;
+}
+
+inline void AppendInternalKey(std::string* result,
+                              const ParsedInternalKey& key) {
+  result->append(key.user_key.data(), key.user_key.size());
+  PutFixed64(result, PackSequenceAndType(key.sequence, key.type));
+}
+
+// Returns false for malformed keys (too short / unknown type).
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result);
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& internal_key) {
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8) >> 8;
+}
+
+inline ValueType ExtractValueType(const Slice& internal_key) {
+  return static_cast<ValueType>(
+      DecodeFixed64(internal_key.data() + internal_key.size() - 8) & 0xff);
+}
+
+// Orders internal keys by user key ascending, then sequence descending,
+// then type descending — so the newest version of a key comes first.
+class InternalKeyComparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const;
+  const char* Name() const { return "iamdb.InternalKeyComparator"; }
+
+  // Shortens *start toward limit for index-key compression; both are
+  // internal keys and the result still sorts >= all keys before it.
+  void FindShortestSeparator(std::string* start, const Slice& limit) const;
+  void FindShortSuccessor(std::string* key) const;
+};
+
+// Owning internal key, convenient for metadata (node ranges etc).
+class InternalKey {
+ public:
+  InternalKey() = default;
+  InternalKey(const Slice& user_key, SequenceNumber s, ValueType t) {
+    AppendInternalKey(&rep_, ParsedInternalKey(user_key, s, t));
+  }
+
+  bool Valid() const {
+    ParsedInternalKey parsed;
+    return ParseInternalKey(rep_, &parsed);
+  }
+
+  void DecodeFrom(const Slice& s) { rep_.assign(s.data(), s.size()); }
+  Slice Encode() const { return rep_; }
+  Slice user_key() const { return ExtractUserKey(rep_); }
+  bool empty() const { return rep_.empty(); }
+  void Clear() { rep_.clear(); }
+
+  void SetFrom(const ParsedInternalKey& p) {
+    rep_.clear();
+    AppendInternalKey(&rep_, p);
+  }
+
+ private:
+  std::string rep_;
+};
+
+// Key format handed to MemTable::Get and engine Get: holds
+//   varint32(internal_key_len) | user_key | tag
+// so the memtable (length-prefixed entries) and table layers (raw internal
+// keys) can both use it without re-encoding.
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber sequence);
+  ~LookupKey();
+
+  LookupKey(const LookupKey&) = delete;
+  LookupKey& operator=(const LookupKey&) = delete;
+
+  Slice memtable_key() const { return Slice(start_, end_ - start_); }
+  Slice internal_key() const { return Slice(kstart_, end_ - kstart_); }
+  Slice user_key() const { return Slice(kstart_, end_ - kstart_ - 8); }
+
+ private:
+  const char* start_;
+  const char* kstart_;
+  const char* end_;
+  char space_[200];  // avoids allocation for short keys
+};
+
+}  // namespace iamdb

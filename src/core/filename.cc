@@ -1,0 +1,100 @@
+#include "core/filename.h"
+
+#include <cstdio>
+
+#include "env/env.h"
+#include "util/status.h"
+
+namespace iamdb {
+
+static std::string MakeFileName(const std::string& dbname, uint64_t number,
+                                const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/%06llu.%s",
+                static_cast<unsigned long long>(number), suffix);
+  return dbname + buf;
+}
+
+std::string LogFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "log");
+}
+
+std::string TableFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "mst");
+}
+
+std::string ManifestFileName(const std::string& dbname, uint64_t number) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/MANIFEST-%06llu",
+                static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+std::string CurrentFileName(const std::string& dbname) {
+  return dbname + "/CURRENT";
+}
+
+std::string TempFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "dbtmp");
+}
+
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type) {
+  Slice rest(filename);
+  if (rest == "CURRENT") {
+    *number = 0;
+    *type = FileType::kCurrentFile;
+    return true;
+  }
+  if (rest.starts_with("MANIFEST-")) {
+    rest.remove_prefix(strlen("MANIFEST-"));
+    uint64_t num = 0;
+    if (rest.empty()) return false;
+    for (size_t i = 0; i < rest.size(); i++) {
+      if (rest[i] < '0' || rest[i] > '9') return false;
+      num = num * 10 + (rest[i] - '0');
+    }
+    *number = num;
+    *type = FileType::kManifestFile;
+    return true;
+  }
+  // <number>.<suffix>
+  size_t dot = filename.find('.');
+  if (dot == std::string::npos || dot == 0) return false;
+  uint64_t num = 0;
+  for (size_t i = 0; i < dot; i++) {
+    if (filename[i] < '0' || filename[i] > '9') return false;
+    num = num * 10 + (filename[i] - '0');
+  }
+  std::string suffix = filename.substr(dot + 1);
+  if (suffix == "log") {
+    *type = FileType::kLogFile;
+  } else if (suffix == "mst") {
+    *type = FileType::kTableFile;
+  } else if (suffix == "dbtmp") {
+    *type = FileType::kTempFile;
+  } else {
+    return false;
+  }
+  *number = num;
+  return true;
+}
+
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t manifest_number) {
+  std::string manifest = ManifestFileName(dbname, manifest_number);
+  Slice contents(manifest);
+  contents.remove_prefix(dbname.size() + 1);  // bare name
+  std::string tmp = TempFileName(dbname, manifest_number);
+  Status s =
+      WriteStringToFile(env, contents.ToString() + "\n", tmp, true);
+  if (s.ok()) {
+    s = env->RenameFile(tmp, CurrentFileName(dbname));
+  }
+  if (!s.ok()) {
+    env->RemoveFile(tmp);
+  }
+  return s;
+}
+
+}  // namespace iamdb

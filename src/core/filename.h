@@ -1,0 +1,36 @@
+// Database file naming: <dbname>/CURRENT, MANIFEST-<n>, <n>.log, <n>.mst.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace iamdb {
+
+enum class FileType {
+  kLogFile,
+  kTableFile,
+  kManifestFile,
+  kCurrentFile,
+  kTempFile,
+  kUnknown,
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string ManifestFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+
+// Parses a bare filename (no directory); returns false if unrecognized.
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type);
+
+// Atomically points CURRENT at MANIFEST-<manifest_number>.
+class Env;
+class Status;
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t manifest_number);
+
+}  // namespace iamdb

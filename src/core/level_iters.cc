@@ -1,0 +1,103 @@
+#include "core/level_iters.h"
+
+#include "core/db_impl.h"
+#include "table/two_level_iterator.h"
+#include "util/coding.h"
+
+namespace iamdb {
+
+namespace {
+
+class NodeListIterator final : public Iterator {
+ public:
+  explicit NodeListIterator(std::shared_ptr<const std::vector<NodePtr>> nodes)
+      : nodes_(std::move(nodes)), index_(nodes_->size()) {}
+
+  bool Valid() const override { return index_ < nodes_->size(); }
+  void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override {
+    index_ = nodes_->empty() ? 0 : nodes_->size() - 1;
+  }
+  void Seek(const Slice& target) override {
+    // First node whose range_hi >= the target's user key.  Ranges can be
+    // wider than data, which only makes the scan inspect an extra node.
+    Slice target_user = ExtractUserKey(target);
+    size_t lo = 0, hi = nodes_->size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (Slice((*nodes_)[mid]->range_hi).compare(target_user) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    index_ = lo;
+  }
+  void Next() override {
+    assert(Valid());
+    index_++;
+  }
+  void Prev() override {
+    assert(Valid());
+    if (index_ == 0) {
+      index_ = nodes_->size();
+    } else {
+      index_--;
+    }
+  }
+  Slice key() const override {
+    const NodePtr& node = (*nodes_)[index_];
+    if (!node->largest_ikey.empty()) return Slice(node->largest_ikey);
+    // Empty node: synthesize a key from its range so ordering holds.
+    synth_key_.clear();
+    AppendInternalKey(&synth_key_,
+                      ParsedInternalKey(node->range_hi, 0, kTypeValue));
+    return Slice(synth_key_);
+  }
+  Slice value() const override {
+    EncodeFixed64(buf_, index_);
+    return Slice(buf_, 8);
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<const std::vector<NodePtr>> nodes_;
+  size_t index_;
+  mutable char buf_[8];
+  mutable std::string synth_key_;
+};
+
+}  // namespace
+
+Iterator* NewNodeListIterator(
+    std::shared_ptr<const std::vector<NodePtr>> nodes) {
+  return new NodeListIterator(std::move(nodes));
+}
+
+Iterator* NewNodeIterator(DBImpl* db, const NodePtr& node,
+                          const ReadOptions& options) {
+  if (node->empty()) return NewEmptyIterator();
+  std::shared_ptr<MSTableReader> reader;
+  Status s = node->OpenReader(db->env(), db->options().table, db->icmp(),
+                              db->dbname(), &reader);
+  if (!s.ok()) return NewErrorIterator(s);
+  Iterator* iter = reader->NewIterator(options);
+  iter->RegisterCleanup([reader]() mutable { reader.reset(); });
+  return iter;
+}
+
+Iterator* NewLevelIterator(DBImpl* db, TreeVersionPtr version,
+                           std::shared_ptr<const std::vector<NodePtr>> nodes,
+                           const ReadOptions& options) {
+  Iterator* index_iter = NewNodeListIterator(nodes);
+  ReadOptions opts = options;
+  Iterator* level_iter = NewTwoLevelIterator(
+      index_iter, [db, nodes, opts](const Slice& index_value) -> Iterator* {
+        uint64_t index = DecodeFixed64(index_value.data());
+        return NewNodeIterator(db, (*nodes)[index], opts);
+      });
+  level_iter->RegisterCleanup([version]() mutable { version.reset(); });
+  return level_iter;
+}
+
+}  // namespace iamdb

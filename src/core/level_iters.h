@@ -1,0 +1,32 @@
+// Iterator plumbing shared by both engines: a concatenating iterator over
+// the disjoint-range nodes of one level, resolving each node lazily into
+// its (possibly multi-sequence) merged iterator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/options.h"
+#include "core/version.h"
+#include "table/iterator.h"
+
+namespace iamdb {
+
+class DBImpl;
+
+// Iterator over a level's node list: key() = the node's largest internal
+// key, value() = node index (fixed64).  Nodes must be range-sorted.
+Iterator* NewNodeListIterator(
+    std::shared_ptr<const std::vector<NodePtr>> nodes);
+
+// Two-level iterator over one range-sorted level.  Pins `version` for its
+// lifetime.  Empty nodes yield empty iterators.
+Iterator* NewLevelIterator(DBImpl* db, TreeVersionPtr version,
+                           std::shared_ptr<const std::vector<NodePtr>> nodes,
+                           const ReadOptions& options);
+
+// Single node -> merged iterator over its sequences (empty node -> empty).
+Iterator* NewNodeIterator(DBImpl* db, const NodePtr& node,
+                          const ReadOptions& options);
+
+}  // namespace iamdb

@@ -1,0 +1,630 @@
+#include "core/leveled/leveled_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/compaction_stream.h"
+#include "core/db_impl.h"
+#include "core/filename.h"
+#include "core/level_iters.h"
+#include "table/merging_iterator.h"
+
+namespace iamdb {
+
+namespace {
+
+// Sort orders: L0 by age (node_id), deeper levels by key range.
+void SortLevel(std::vector<NodePtr>* nodes, int level) {
+  if (level == 0) {
+    std::sort(nodes->begin(), nodes->end(),
+              [](const NodePtr& a, const NodePtr& b) {
+                return a->node_id < b->node_id;
+              });
+  } else {
+    std::sort(nodes->begin(), nodes->end(),
+              [](const NodePtr& a, const NodePtr& b) {
+                return a->range_lo < b->range_lo;
+              });
+  }
+}
+
+NodePtr NodeFromEdit(const NodeEdit& e, Env* env, const std::string& dbname) {
+  auto node = std::make_shared<NodeMeta>();
+  node->node_id = e.node_id;
+  node->file_number = e.file_number;
+  node->meta_end = e.meta_end;
+  node->data_bytes = e.data_bytes;
+  node->num_entries = e.num_entries;
+  node->seq_count = e.seq_count;
+  node->range_lo = e.range_lo;
+  node->range_hi = e.range_hi;
+  node->smallest_ikey = e.smallest_ikey;
+  node->largest_ikey = e.largest_ikey;
+  if (e.file_number != 0) {
+    node->lifetime = std::make_shared<FileLifetime>(
+        env, TableFileName(dbname, e.file_number));
+  }
+  return node;
+}
+
+}  // namespace
+
+LeveledEngine::LeveledEngine(DBImpl* db)
+    : db_(db), compact_pointer_(kNumLevels) {
+  current_.store(std::make_shared<const TreeVersion>(
+      std::vector<std::vector<NodePtr>>(kNumLevels)));
+}
+
+Status LeveledEngine::Recover(const RecoveredState& state) {
+  std::vector<std::vector<NodePtr>> levels(kNumLevels);
+  for (int level = 0; level < static_cast<int>(state.nodes.size()); level++) {
+    if (level >= kNumLevels) {
+      return Status::Corruption("leveled manifest has too many levels");
+    }
+    for (const NodeEdit& e : state.nodes[level]) {
+      levels[level].push_back(NodeFromEdit(e, db_->env(), db_->dbname()));
+    }
+    SortLevel(&levels[level], level);
+  }
+  current_.store(std::make_shared<const TreeVersion>(std::move(levels)));
+  return Status::OK();
+}
+
+uint64_t LeveledEngine::MaxBytesForLevel(int level) const {
+  const LeveledOptions& opts = db_->options().leveled;
+  double bytes = static_cast<double>(opts.max_bytes_level1);
+  for (int i = 1; i < level; i++) bytes *= opts.level_multiplier;
+  return static_cast<uint64_t>(bytes);
+}
+
+int LeveledEngine::PickCompactionLevel() const {
+  TreeVersionPtr version = current_version();
+  const LeveledOptions& opts = db_->options().leveled;
+  double best_score = 1.0;
+  int best_level = -1;
+  // L0 score: file count.
+  if (busy_levels_.count(0) == 0 && busy_levels_.count(1) == 0) {
+    double score = version->level(0).size() /
+                   static_cast<double>(opts.l0_compaction_trigger);
+    if (score >= best_score) {
+      best_score = score;
+      best_level = 0;
+    }
+  }
+  for (int level = 1; level < kNumLevels - 1; level++) {
+    if (busy_levels_.count(level) || busy_levels_.count(level + 1)) continue;
+    double score = static_cast<double>(version->LevelBytes(level)) /
+                   MaxBytesForLevel(level);
+    if (score > best_score) {
+      best_score = score;
+      best_level = level;
+    }
+  }
+  return best_level;
+}
+
+uint64_t LeveledEngine::PendingCompactionDebt() const {
+  TreeVersionPtr version = current_version();
+  uint64_t debt = 0;
+  for (int level = 1; level < kNumLevels; level++) {
+    uint64_t bytes = version->LevelBytes(level);
+    uint64_t limit = MaxBytesForLevel(level);
+    if (bytes > limit) debt += bytes - limit;
+  }
+  return debt;
+}
+
+bool LeveledEngine::NeedsCompaction() const {
+  return PickCompactionLevel() >= 0;
+}
+
+TreeEngine::WritePressure LeveledEngine::GetWritePressure() const {
+  const LeveledOptions& opts = db_->options().leveled;
+  TreeVersionPtr version = current_version();
+  size_t l0_files = version->level(0).size();
+  if (l0_files >= static_cast<size_t>(opts.l0_stop_trigger)) {
+    return WritePressure::kStop;
+  }
+  if (opts.strict_level_limits) {
+    uint64_t debt = PendingCompactionDebt();
+    if (debt >= opts.hard_pending_bytes) return WritePressure::kStop;
+    if (debt >= opts.soft_pending_bytes) return WritePressure::kSlowdown;
+  }
+  if (l0_files >= static_cast<size_t>(opts.l0_slowdown_trigger)) {
+    return WritePressure::kSlowdown;
+  }
+  return WritePressure::kNone;
+}
+
+Status LeveledEngine::BackgroundWork(bool* did_work) {
+  *did_work = false;
+  if (db_->imm() != nullptr && !imm_flush_running_) {
+    imm_flush_running_ = true;
+    Status s = FlushImm();
+    imm_flush_running_ = false;
+    *did_work = true;
+    return s;
+  }
+  int level = PickCompactionLevel();
+  if (level < 0) return Status::OK();
+  *did_work = true;
+  busy_levels_.insert(level);
+  busy_levels_.insert(level + 1);
+  Status s = CompactLevel(level);
+  busy_levels_.erase(level);
+  busy_levels_.erase(level + 1);
+  return s;
+}
+
+NodeEdit LeveledEngine::ToEdit(const NodeMeta& node, int level) const {
+  NodeEdit e;
+  e.level = level;
+  e.node_id = node.node_id;
+  e.file_number = node.file_number;
+  e.meta_end = node.meta_end;
+  e.data_bytes = node.data_bytes;
+  e.num_entries = node.num_entries;
+  e.seq_count = node.seq_count;
+  e.range_lo = node.range_lo;
+  e.range_hi = node.range_hi;
+  e.smallest_ikey = node.smallest_ikey;
+  e.largest_ikey = node.largest_ikey;
+  return e;
+}
+
+void LeveledEngine::ApplyToVersion(const std::vector<NodePtr>& removed,
+                                   const std::vector<NodePtr>& added,
+                                   int add_level) {
+  TreeVersionPtr base = current_version();
+  std::vector<std::vector<NodePtr>> levels = base->levels();
+  for (const auto& victim : removed) {
+    for (auto& level_nodes : levels) {
+      level_nodes.erase(
+          std::remove_if(level_nodes.begin(), level_nodes.end(),
+                         [&](const NodePtr& n) {
+                           return n->node_id == victim->node_id;
+                         }),
+          level_nodes.end());
+    }
+  }
+  for (const auto& node : added) {
+    levels[add_level].push_back(node);
+  }
+  SortLevel(&levels[add_level], add_level);
+  current_.store(std::make_shared<const TreeVersion>(std::move(levels)));
+}
+
+Status LeveledEngine::FlushImm() {
+  // Mutex held on entry.
+  MemTable* imm = db_->imm();
+  assert(imm != nullptr);
+  imm->Ref();
+  SequenceNumber smallest_snapshot = db_->SmallestSnapshot();
+  uint64_t file_number = db_->NewFileNumber();
+  uint64_t node_id = db_->NewNodeId();
+
+  db_->mutex().unlock();
+  // Build one L0 table from the whole memtable.
+  MSTableWriter writer(db_->env(), db_->options().table,
+                       TableFileName(db_->dbname(), file_number));
+  Status s = writer.Open();
+  MSTableBuildResult result;
+  if (s.ok()) {
+    CompactionStream stream(imm->NewIterator(), smallest_snapshot,
+                            /*bottommost=*/false);
+    while (stream.Valid() && s.ok()) {
+      s = writer.Add(stream.key(), stream.value());
+      stream.Next();
+    }
+    if (s.ok()) s = stream.status();
+    if (s.ok()) {
+      s = writer.Finish(db_->options().sync_wal, &result);
+    } else {
+      writer.Abandon();
+    }
+  }
+  imm->Unref();
+  db_->mutex().lock();
+  if (!s.ok()) return s;
+
+  auto node = std::make_shared<NodeMeta>();
+  node->node_id = node_id;
+  node->file_number = file_number;
+  node->meta_end = result.meta_end;
+  node->data_bytes = result.data_bytes;
+  node->num_entries = result.num_entries;
+  node->seq_count = result.seq_count;
+  node->smallest_ikey = result.smallest;
+  node->largest_ikey = result.largest;
+  node->range_lo = ExtractUserKey(result.smallest).ToString();
+  node->range_hi = ExtractUserKey(result.largest).ToString();
+  node->lifetime = std::make_shared<FileLifetime>(
+      db_->env(), TableFileName(db_->dbname(), file_number));
+
+  db_->amp_stats_mutable()->RecordLevelWrite(0, WriteReason::kFlush,
+                                             result.new_data_bytes);
+  db_->amp_stats_mutable()->RecordLevelWrite(0, WriteReason::kMetadata,
+                                             result.meta_bytes);
+
+  VersionEdit edit;
+  edit.AddNode(ToEdit(*node, 0));
+  edit.SetLogNumber(db_->CurrentLogNumber());
+  s = db_->LogEdit(&edit);
+  if (!s.ok()) return s;
+  ApplyToVersion({}, {node}, 0);
+  db_->ImmFlushed();
+  return Status::OK();
+}
+
+std::vector<NodePtr> LeveledEngine::OverlappingInputs(
+    const TreeVersion& version, int level, const Slice& lo_user,
+    const Slice& hi_user) const {
+  std::vector<NodePtr> result;
+  for (const auto& node : version.level(level)) {
+    if (Slice(node->range_hi).compare(lo_user) < 0) continue;
+    if (Slice(node->range_lo).compare(hi_user) > 0) continue;
+    result.push_back(node);
+  }
+  return result;
+}
+
+Status LeveledEngine::CompactLevel(int level) {
+  // Mutex held on entry.
+  TreeVersionPtr version = current_version();
+  const Options& options = db_->options();
+
+  std::vector<NodePtr> inputs0;
+  if (level == 0) {
+    // Start from the oldest L0 file and expand by range overlap to a
+    // fixpoint (newer overlapping files must join or their versions would
+    // be buried below older ones).  Non-overlapping files — sequential
+    // loads — stay single-input and become trivial moves.
+    inputs0.push_back(version->level(0).front());
+    std::string lo = inputs0[0]->range_lo, hi = inputs0[0]->range_hi;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const auto& node : version->level(0)) {
+        bool already = false;
+        for (const auto& input : inputs0) {
+          if (input->node_id == node->node_id) {
+            already = true;
+            break;
+          }
+        }
+        if (already) continue;
+        if (node->range_hi < lo || node->range_lo > hi) continue;
+        inputs0.push_back(node);
+        lo = std::min(lo, node->range_lo);
+        hi = std::max(hi, node->range_hi);
+        grew = true;
+      }
+    }
+  } else {
+    // Round-robin: first node with range_lo > compact_pointer_[level].
+    const auto& nodes = version->level(level);
+    if (nodes.empty()) return Status::OK();
+    NodePtr picked;
+    for (const auto& node : nodes) {
+      if (compact_pointer_[level].empty() ||
+          node->range_lo > compact_pointer_[level]) {
+        picked = node;
+        break;
+      }
+    }
+    if (picked == nullptr) picked = nodes.front();  // wrap around
+    compact_pointer_[level] = picked->range_lo;
+    inputs0.push_back(picked);
+  }
+  if (inputs0.empty()) return Status::OK();
+
+  std::string lo = inputs0[0]->range_lo, hi = inputs0[0]->range_hi;
+  for (const auto& node : inputs0) {
+    lo = std::min(lo, node->range_lo);
+    hi = std::max(hi, node->range_hi);
+  }
+  std::vector<NodePtr> inputs1 =
+      OverlappingInputs(*version, level + 1, lo, hi);
+
+  // Trivial move: single input, nothing to merge with.
+  if (inputs1.empty() && inputs0.size() == 1) {
+    NodePtr moved = inputs0[0];
+    VersionEdit edit;
+    edit.RemoveNode(level, moved->node_id);
+    edit.AddNode(ToEdit(*moved, level + 1));
+    Status s = db_->LogEdit(&edit);
+    if (!s.ok()) return s;
+    ApplyToVersion({moved}, {moved}, level + 1);
+    db_->amp_stats_mutable()->RecordLevelWrite(level + 1, WriteReason::kMove,
+                                               0);
+    return Status::OK();
+  }
+
+  SequenceNumber smallest_snapshot = db_->SmallestSnapshot();
+  // Bottommost if every deeper level has no overlap with the output range.
+  bool bottommost = true;
+  for (int deeper = level + 2; deeper < kNumLevels; deeper++) {
+    if (!OverlappingInputs(*version, deeper, lo, hi).empty()) {
+      bottommost = false;
+      break;
+    }
+  }
+
+  db_->mutex().unlock();
+
+  // Merge all input sequences.
+  Status s;
+  std::vector<Iterator*> input_iters;
+  ReadOptions read_options;
+  read_options.fill_cache = false;
+  for (const auto& node : inputs0) {
+    std::shared_ptr<MSTableReader> reader;
+    s = node->OpenReader(db_->env(), options.table, db_->icmp(),
+                         db_->dbname(), &reader);
+    if (!s.ok()) break;
+    reader->AddSequenceIterators(read_options, &input_iters);
+  }
+  if (s.ok()) {
+    for (const auto& node : inputs1) {
+      std::shared_ptr<MSTableReader> reader;
+      s = node->OpenReader(db_->env(), options.table, db_->icmp(),
+                           db_->dbname(), &reader);
+      if (!s.ok()) break;
+      reader->AddSequenceIterators(read_options, &input_iters);
+    }
+  }
+  if (!s.ok()) {
+    for (Iterator* iter : input_iters) delete iter;
+    db_->mutex().lock();
+    return s;
+  }
+
+  struct Output {
+    NodePtr node;
+  };
+  std::vector<NodePtr> outputs;
+  uint64_t written_bytes = 0, meta_bytes = 0;
+
+  {
+    Iterator* merged = NewMergingIterator(
+        db_->icmp(), input_iters.data(), static_cast<int>(input_iters.size()));
+    CompactionStream stream(merged, smallest_snapshot, bottommost);
+
+    std::unique_ptr<MSTableWriter> writer;
+    uint64_t out_file_number = 0, out_node_id = 0;
+    MSTableBuildResult result;
+    auto finish_output = [&]() -> Status {
+      if (writer == nullptr) return Status::OK();
+      Status fs = writer->Finish(false, &result);
+      if (!fs.ok()) return fs;
+      auto node = std::make_shared<NodeMeta>();
+      node->node_id = out_node_id;
+      node->file_number = out_file_number;
+      node->meta_end = result.meta_end;
+      node->data_bytes = result.data_bytes;
+      node->num_entries = result.num_entries;
+      node->seq_count = result.seq_count;
+      node->smallest_ikey = result.smallest;
+      node->largest_ikey = result.largest;
+      node->range_lo = ExtractUserKey(result.smallest).ToString();
+      node->range_hi = ExtractUserKey(result.largest).ToString();
+      node->lifetime = std::make_shared<FileLifetime>(
+          db_->env(), TableFileName(db_->dbname(), out_file_number));
+      outputs.push_back(std::move(node));
+      written_bytes += result.data_bytes;
+      meta_bytes += result.meta_bytes;
+      writer.reset();
+      return Status::OK();
+    };
+
+    std::string last_user_key;
+    while (stream.Valid() && s.ok()) {
+      Slice user_key = ExtractUserKey(stream.key());
+      // Cut outputs only at user-key boundaries: all versions of a key
+      // stay in one file, keeping level ranges user-key-disjoint (the
+      // invariant the point-read binary search relies on).
+      if (writer != nullptr &&
+          writer->EstimatedDataBytes() >= options.leveled.target_file_size &&
+          user_key != Slice(last_user_key)) {
+        s = finish_output();
+        if (!s.ok()) break;
+      }
+      if (writer == nullptr) {
+        db_->mutex().lock();
+        out_file_number = db_->NewFileNumber();
+        out_node_id = db_->NewNodeId();
+        db_->mutex().unlock();
+        writer = std::make_unique<MSTableWriter>(
+            db_->env(), options.table,
+            TableFileName(db_->dbname(), out_file_number));
+        s = writer->Open();
+        if (!s.ok()) break;
+      }
+      s = writer->Add(stream.key(), stream.value());
+      if (!s.ok()) break;
+      last_user_key.assign(user_key.data(), user_key.size());
+      stream.Next();
+    }
+    if (s.ok()) s = stream.status();
+    if (s.ok()) {
+      s = finish_output();
+    } else if (writer != nullptr) {
+      writer->Abandon();
+    }
+  }
+
+  db_->mutex().lock();
+  if (!s.ok()) {
+    for (const auto& node : outputs) {
+      if (node->lifetime) node->lifetime->MarkObsolete();
+    }
+    return s;
+  }
+
+  db_->amp_stats_mutable()->RecordLevelWrite(level + 1, WriteReason::kMerge,
+                                             written_bytes);
+  db_->amp_stats_mutable()->RecordLevelWrite(level + 1, WriteReason::kMetadata,
+                                             meta_bytes);
+
+  VersionEdit edit;
+  std::vector<NodePtr> removed;
+  for (const auto& node : inputs0) {
+    edit.RemoveNode(level, node->node_id);
+    removed.push_back(node);
+  }
+  for (const auto& node : inputs1) {
+    edit.RemoveNode(level + 1, node->node_id);
+    removed.push_back(node);
+  }
+  for (const auto& node : outputs) {
+    edit.AddNode(ToEdit(*node, level + 1));
+  }
+  s = db_->LogEdit(&edit);
+  if (!s.ok()) return s;
+  ApplyToVersion(removed, outputs, level + 1);
+  // Physical files die when the last version/iterator referencing them
+  // lets go.
+  for (const auto& node : removed) {
+    if (node->lifetime) node->lifetime->MarkObsolete();
+  }
+  return Status::OK();
+}
+
+Status LeveledEngine::Get(const ReadOptions& options, const LookupKey& key,
+                          std::string* value) {
+  TreeVersionPtr version = current_version();
+  Slice user_key = key.user_key();
+  Slice ikey = key.internal_key();
+
+  auto check_node = [&](const NodePtr& node, bool* done,
+                        Status* result) -> bool {
+    if (node->empty()) return false;
+    std::shared_ptr<MSTableReader> reader;
+    Status s = node->OpenReader(db_->env(), db_->options().table, db_->icmp(),
+                                db_->dbname(), &reader);
+    if (!s.ok()) {
+      *result = s;
+      *done = true;
+      return true;
+    }
+    MSTableReader::GetState state;
+    s = reader->Get(options, ikey, value, &state);
+    if (!s.ok()) {
+      *result = s;
+      *done = true;
+      return true;
+    }
+    switch (state) {
+      case MSTableReader::GetState::kFound:
+        *result = Status::OK();
+        *done = true;
+        return true;
+      case MSTableReader::GetState::kDeleted:
+        *result = Status::NotFound(Slice());
+        *done = true;
+        return true;
+      default:
+        return false;
+    }
+  };
+
+  bool done = false;
+  Status result = Status::NotFound(Slice());
+
+  // L0: newest file first.
+  const auto& l0 = version->level(0);
+  for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+    const NodePtr& node = *it;
+    if (!RangeCovered(node, user_key)) continue;
+    if (check_node(node, &done, &result)) return result;
+  }
+
+  // Deeper levels: at most one node covers the key.
+  for (int level = 1; level < version->num_levels(); level++) {
+    const auto& nodes = version->level(level);
+    // Binary search: first node with range_hi >= user_key.
+    size_t lo = 0, hi_idx = nodes.size();
+    while (lo < hi_idx) {
+      size_t mid = (lo + hi_idx) / 2;
+      if (Slice(nodes[mid]->range_hi).compare(user_key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi_idx = mid;
+      }
+    }
+    if (lo < nodes.size() && RangeCovered(nodes[lo], user_key)) {
+      if (check_node(nodes[lo], &done, &result)) return result;
+    }
+  }
+  return Status::NotFound(Slice());
+}
+
+bool LeveledEngine::RangeCovered(const NodePtr& node,
+                                 const Slice& user_key) const {
+  return Slice(node->range_lo).compare(user_key) <= 0 &&
+         Slice(node->range_hi).compare(user_key) >= 0;
+}
+
+void LeveledEngine::AddIterators(const ReadOptions& options,
+                                 std::vector<Iterator*>* iters) {
+  TreeVersionPtr version = current_version();
+
+  // L0: one iterator per file (overlapping ranges).
+  for (const auto& node : version->level(0)) {
+    std::shared_ptr<MSTableReader> reader;
+    Status s = node->OpenReader(db_->env(), db_->options().table, db_->icmp(),
+                                db_->dbname(), &reader);
+    if (!s.ok()) {
+      iters->push_back(NewErrorIterator(s));
+      continue;
+    }
+    Iterator* iter = reader->NewIterator(options);
+    iter->RegisterCleanup([version, reader]() mutable {
+      reader.reset();
+    });
+    iters->push_back(iter);
+  }
+
+  // L1+: concatenated node iterators per level.
+  for (int level = 1; level < version->num_levels(); level++) {
+    if (version->level(level).empty()) continue;
+    auto nodes =
+        std::make_shared<const std::vector<NodePtr>>(version->level(level));
+    iters->push_back(NewLevelIterator(db_, version, nodes, options));
+  }
+}
+
+void LeveledEngine::FillStats(DbStats* stats) const {
+  stats->mixed_level = 0;
+  stats->mixed_level_k = 0;
+  TreeVersionPtr version = current_version();
+  const LeveledOptions& opts = db_->options().leveled;
+  uint64_t debt = PendingCompactionDebt();
+  size_t l0 = version->level(0).size();
+  if (l0 > static_cast<size_t>(opts.l0_compaction_trigger)) {
+    debt += (l0 - opts.l0_compaction_trigger) * opts.target_file_size;
+  }
+  stats->pending_debt_bytes = debt;
+}
+
+Status LeveledEngine::CheckInvariants(bool quiescent) const {
+  TreeVersionPtr version = current_version();
+  for (int level = 1; level < version->num_levels(); level++) {
+    const auto& nodes = version->level(level);
+    for (size_t i = 1; i < nodes.size(); i++) {
+      if (nodes[i - 1]->range_hi >= nodes[i]->range_lo) {
+        return Status::Corruption("leveled L1+ ranges overlap");
+      }
+    }
+  }
+  if (quiescent) {
+    // After settling, L0 must be below the compaction trigger.
+    if (version->level(0).size() >=
+        static_cast<size_t>(db_->options().leveled.l0_compaction_trigger)) {
+      return Status::Corruption("L0 still over trigger at quiescence");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace iamdb

@@ -1,0 +1,76 @@
+// LeveledEngine: classic leveled LSM compaction — the paper's baseline.
+//
+// L0 holds whole-memtable files with overlapping ranges; L1..L6 hold
+// disjoint single-sequence nodes.  Compaction picks the level with the
+// highest fullness score and merges one file (all files for L0) with the
+// overlapping files one level down.
+//
+// Two behaviour profiles, per the paper's evaluation:
+//  * LevelDB-flavour (strict_level_limits=false): stalls only on L0 file
+//    count, so deeper levels overflow under write-heavy load (Sec 6.2's
+//    "serious data overflows" and long tuning phases).
+//  * RocksDB-flavour (strict_level_limits=true): adds pending-compaction-
+//    debt slowdown/stop thresholds, preventing overflow at the price of
+//    write stalls; combine with background_threads > 1 for "R-4t".
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/tree_engine.h"
+
+namespace iamdb {
+
+class DBImpl;
+
+class LeveledEngine final : public TreeEngine {
+ public:
+  static constexpr int kNumLevels = 7;
+
+  explicit LeveledEngine(DBImpl* db);
+
+  Status Recover(const RecoveredState& state) override;
+  bool NeedsCompaction() const override;
+  Status BackgroundWork(bool* did_work) override;
+  Status Get(const ReadOptions& options, const LookupKey& key,
+             std::string* value) override;
+  void AddIterators(const ReadOptions& options,
+                    std::vector<Iterator*>* iters) override;
+  WritePressure GetWritePressure() const override;
+  void FillStats(DbStats* stats) const override;
+  TreeVersionPtr current_version() const override {
+    return current_.load(std::memory_order_acquire);
+  }
+  Status CheckInvariants(bool quiescent) const override;
+
+ private:
+  uint64_t MaxBytesForLevel(int level) const;
+  // Highest-scoring compactable level not currently busy; -1 if none >= 1.
+  int PickCompactionLevel() const;
+  uint64_t PendingCompactionDebt() const;
+
+  // I/O steps; called with the DB mutex held, unlock around file writes.
+  Status FlushImm();
+  Status CompactLevel(int level);
+
+  // Mutex held: apply removed/added to the current version and publish.
+  void ApplyToVersion(const std::vector<NodePtr>& removed,
+                      const std::vector<NodePtr>& added, int add_level);
+
+  std::vector<NodePtr> OverlappingInputs(const TreeVersion& version, int level,
+                                         const Slice& lo_user,
+                                         const Slice& hi_user) const;
+  bool RangeCovered(const NodePtr& node, const Slice& user_key) const;
+  NodeEdit ToEdit(const NodeMeta& node, int level) const;
+
+  DBImpl* db_;
+  std::atomic<TreeVersionPtr> current_;
+  std::set<int> busy_levels_;       // input+output levels of running jobs
+  bool imm_flush_running_ = false;
+  std::vector<std::string> compact_pointer_;  // round-robin cursor per level
+};
+
+}  // namespace iamdb

@@ -1,0 +1,261 @@
+#include "core/manifest.h"
+
+#include <algorithm>
+
+#include "core/filename.h"
+#include "util/coding.h"
+#include "wal/log_reader.h"
+
+namespace iamdb {
+
+namespace {
+// Edit record field tags.
+enum Tag : uint32_t {
+  kLogNumber = 1,
+  kNextFileNumber = 2,
+  kNextNodeId = 3,
+  kLastSequence = 4,
+  kNumLevels = 5,
+  kAddedNode = 6,
+  kRemovedNode = 7,
+};
+}  // namespace
+
+void NodeEdit::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(level));
+  PutVarint64(dst, node_id);
+  PutVarint64(dst, file_number);
+  PutVarint64(dst, meta_end);
+  PutVarint64(dst, data_bytes);
+  PutVarint64(dst, num_entries);
+  PutVarint32(dst, seq_count);
+  PutLengthPrefixedSlice(dst, range_lo);
+  PutLengthPrefixedSlice(dst, range_hi);
+  PutLengthPrefixedSlice(dst, smallest_ikey);
+  PutLengthPrefixedSlice(dst, largest_ikey);
+}
+
+bool NodeEdit::DecodeFrom(Slice* input) {
+  uint32_t lvl;
+  Slice lo, hi, small, large;
+  if (!GetVarint32(input, &lvl) || !GetVarint64(input, &node_id) ||
+      !GetVarint64(input, &file_number) || !GetVarint64(input, &meta_end) ||
+      !GetVarint64(input, &data_bytes) || !GetVarint64(input, &num_entries) ||
+      !GetVarint32(input, &seq_count) ||
+      !GetLengthPrefixedSlice(input, &lo) ||
+      !GetLengthPrefixedSlice(input, &hi) ||
+      !GetLengthPrefixedSlice(input, &small) ||
+      !GetLengthPrefixedSlice(input, &large)) {
+    return false;
+  }
+  level = static_cast<int>(lvl);
+  range_lo = lo.ToString();
+  range_hi = hi.ToString();
+  smallest_ikey = small.ToString();
+  largest_ikey = large.ToString();
+  return true;
+}
+
+void VersionEdit::EncodeTo(std::string* dst) const {
+  if (log_number_) {
+    PutVarint32(dst, kLogNumber);
+    PutVarint64(dst, *log_number_);
+  }
+  if (next_file_number_) {
+    PutVarint32(dst, kNextFileNumber);
+    PutVarint64(dst, *next_file_number_);
+  }
+  if (next_node_id_) {
+    PutVarint32(dst, kNextNodeId);
+    PutVarint64(dst, *next_node_id_);
+  }
+  if (last_sequence_) {
+    PutVarint32(dst, kLastSequence);
+    PutVarint64(dst, *last_sequence_);
+  }
+  if (num_levels_) {
+    PutVarint32(dst, kNumLevels);
+    PutVarint32(dst, static_cast<uint32_t>(*num_levels_));
+  }
+  for (const auto& [level, node_id] : removed_) {
+    PutVarint32(dst, kRemovedNode);
+    PutVarint32(dst, static_cast<uint32_t>(level));
+    PutVarint64(dst, node_id);
+  }
+  for (const auto& node : added_) {
+    PutVarint32(dst, kAddedNode);
+    node.EncodeTo(dst);
+  }
+}
+
+Status VersionEdit::DecodeFrom(const Slice& src) {
+  Slice input = src;
+  uint32_t tag;
+  while (GetVarint32(&input, &tag)) {
+    switch (tag) {
+      case kLogNumber: {
+        uint64_t v;
+        if (!GetVarint64(&input, &v)) {
+          return Status::Corruption("manifest: log number");
+        }
+        log_number_ = v;
+        break;
+      }
+      case kNextFileNumber: {
+        uint64_t v;
+        if (!GetVarint64(&input, &v)) {
+          return Status::Corruption("manifest: next file number");
+        }
+        next_file_number_ = v;
+        break;
+      }
+      case kNextNodeId: {
+        uint64_t v;
+        if (!GetVarint64(&input, &v)) {
+          return Status::Corruption("manifest: next node id");
+        }
+        next_node_id_ = v;
+        break;
+      }
+      case kLastSequence: {
+        uint64_t v;
+        if (!GetVarint64(&input, &v)) {
+          return Status::Corruption("manifest: last sequence");
+        }
+        last_sequence_ = v;
+        break;
+      }
+      case kNumLevels: {
+        uint32_t v;
+        if (!GetVarint32(&input, &v)) {
+          return Status::Corruption("manifest: num levels");
+        }
+        num_levels_ = static_cast<int>(v);
+        break;
+      }
+      case kRemovedNode: {
+        uint32_t level;
+        uint64_t node_id;
+        if (!GetVarint32(&input, &level) || !GetVarint64(&input, &node_id)) {
+          return Status::Corruption("manifest: removed node");
+        }
+        removed_.emplace_back(static_cast<int>(level), node_id);
+        break;
+      }
+      case kAddedNode: {
+        NodeEdit node;
+        if (!node.DecodeFrom(&input)) {
+          return Status::Corruption("manifest: added node");
+        }
+        added_.push_back(std::move(node));
+        break;
+      }
+      default:
+        return Status::Corruption("manifest: unknown tag");
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+
+ManifestWriter::ManifestWriter(Env* env, std::string dbname)
+    : env_(env), dbname_(std::move(dbname)) {}
+
+Status ManifestWriter::Create(uint64_t manifest_number,
+                              const VersionEdit& base) {
+  manifest_number_ = manifest_number;
+  Status s = env_->NewWritableFile(ManifestFileName(dbname_, manifest_number),
+                                   &file_);
+  if (!s.ok()) return s;
+  log_ = std::make_unique<log::Writer>(file_.get());
+  s = Append(base, true);
+  if (!s.ok()) return s;
+  return SetCurrentFile(env_, dbname_, manifest_number);
+}
+
+Status ManifestWriter::Append(const VersionEdit& edit, bool sync) {
+  std::string record;
+  edit.EncodeTo(&record);
+  Status s = log_->AddRecord(record);
+  if (s.ok() && sync) s = file_->Sync();
+  bytes_written_ += record.size();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+struct LogReporter : public log::Reader::Reporter {
+  Status* status;
+  void Corruption(size_t, const Status& s) override {
+    if (status->ok()) *status = s;
+  }
+};
+}  // namespace
+
+Status RecoverManifest(Env* env, const std::string& dbname,
+                       RecoveredState* state) {
+  std::string current;
+  Status s = ReadFileToString(env, CurrentFileName(dbname), &current);
+  if (!s.ok()) return s;
+  if (current.empty() || current.back() != '\n') {
+    return Status::Corruption("CURRENT file malformed");
+  }
+  current.resize(current.size() - 1);
+
+  std::unique_ptr<SequentialFile> file;
+  s = env->NewSequentialFile(dbname + "/" + current, &file);
+  if (!s.ok()) return s;
+
+  Status log_status;
+  LogReporter reporter;
+  reporter.status = &log_status;
+  log::Reader reader(file.get(), &reporter, true);
+
+  // node_id -> (level, NodeEdit): replay removes/adds.
+  std::map<uint64_t, NodeEdit> live;
+
+  Slice record;
+  std::string scratch;
+  while (reader.ReadRecord(&record, &scratch)) {
+    VersionEdit edit;
+    s = edit.DecodeFrom(record);
+    if (!s.ok()) return s;
+    if (edit.log_number()) state->log_number = *edit.log_number();
+    if (edit.next_file_number()) {
+      state->next_file_number = *edit.next_file_number();
+    }
+    if (edit.next_node_id()) state->next_node_id = *edit.next_node_id();
+    if (edit.last_sequence()) state->last_sequence = *edit.last_sequence();
+    if (edit.num_levels()) state->num_levels = *edit.num_levels();
+    for (const auto& [level, node_id] : edit.removed()) {
+      (void)level;
+      live.erase(node_id);
+    }
+    for (const auto& node : edit.added()) {
+      live[node.node_id] = node;
+    }
+  }
+  if (!log_status.ok()) return log_status;
+
+  int max_level = state->num_levels;
+  for (const auto& [id, node] : live) {
+    max_level = std::max(max_level, node.level + 1);
+  }
+  state->num_levels = max_level;
+  state->nodes.assign(max_level, {});
+  for (auto& [id, node] : live) {
+    state->nodes[node.level].push_back(std::move(node));
+  }
+  for (auto& level_nodes : state->nodes) {
+    std::sort(level_nodes.begin(), level_nodes.end(),
+              [](const NodeEdit& a, const NodeEdit& b) {
+                if (a.range_lo != b.range_lo) return a.range_lo < b.range_lo;
+                return a.node_id < b.node_id;
+              });
+  }
+  return Status::OK();
+}
+
+}  // namespace iamdb

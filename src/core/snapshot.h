@@ -1,0 +1,72 @@
+// Snapshots pin a sequence number; reads through a snapshot see the newest
+// version of each key at or below it.  Kept in an intrusive doubly-linked
+// list so the oldest live snapshot (the GC horizon for compactions) is O(1).
+#pragma once
+
+#include <cassert>
+
+#include "core/dbformat.h"
+
+namespace iamdb {
+
+// Opaque public handle.
+class Snapshot {
+ protected:
+  virtual ~Snapshot() = default;
+  friend class SnapshotImpl;
+  friend class SnapshotList;
+};
+
+class SnapshotImpl final : public Snapshot {
+ public:
+  explicit SnapshotImpl(SequenceNumber sequence) : sequence_(sequence) {}
+  ~SnapshotImpl() override = default;
+
+  SequenceNumber sequence() const { return sequence_; }
+
+ private:
+  friend class SnapshotList;
+
+  const SequenceNumber sequence_;
+  SnapshotImpl* prev_ = nullptr;
+  SnapshotImpl* next_ = nullptr;
+};
+
+class SnapshotList {
+ public:
+  SnapshotList() : head_(0) {
+    head_.prev_ = &head_;
+    head_.next_ = &head_;
+  }
+
+  bool empty() const { return head_.next_ == &head_; }
+  SnapshotImpl* oldest() const {
+    assert(!empty());
+    return head_.next_;
+  }
+  SnapshotImpl* newest() const {
+    assert(!empty());
+    return head_.prev_;
+  }
+
+  SnapshotImpl* New(SequenceNumber sequence) {
+    assert(empty() || newest()->sequence_ <= sequence);
+    SnapshotImpl* snapshot = new SnapshotImpl(sequence);
+    snapshot->next_ = &head_;
+    snapshot->prev_ = head_.prev_;
+    snapshot->prev_->next_ = snapshot;
+    snapshot->next_->prev_ = snapshot;
+    return snapshot;
+  }
+
+  void Delete(const SnapshotImpl* snapshot) {
+    snapshot->prev_->next_ = snapshot->next_;
+    snapshot->next_->prev_ = snapshot->prev_;
+    delete snapshot;
+  }
+
+ private:
+  SnapshotImpl head_;
+};
+
+}  // namespace iamdb

@@ -1,0 +1,67 @@
+// TreeEngine: the on-disk organisation behind one DBImpl.  The write path,
+// WAL, memtables, snapshots and group commit are shared (DBImpl); engines
+// own structure, compaction policy and the disk read path:
+//   LeveledEngine — classic leveled LSM (the paper's LevelDB/RocksDB
+//                   baseline, with overflow/stall behaviour knobs), and
+//   AmtEngine     — the LSA/IAM append-merge tree (the contribution).
+#pragma once
+
+#include <vector>
+
+#include "core/dbformat.h"
+#include "core/manifest.h"
+#include "core/options.h"
+#include "core/version.h"
+#include "table/iterator.h"
+#include "util/status.h"
+
+namespace iamdb {
+
+struct DbStats;
+class DBImpl;
+
+class TreeEngine {
+ public:
+  enum class WritePressure { kNone, kSlowdown, kStop };
+
+  virtual ~TreeEngine() = default;
+
+  // Build the in-memory tree from recovered manifest state (open time; no
+  // locking concerns).
+  virtual Status Recover(const RecoveredState& state) = 0;
+
+  // Whether background work beyond an immutable-memtable flush is pending.
+  // Called with the DB mutex held.
+  virtual bool NeedsCompaction() const = 0;
+
+  // Perform one unit of background work: an imm flush if one is pending,
+  // otherwise one compaction step.  Called with the DB mutex HELD; the
+  // implementation unlocks around I/O.  *did_work=false when there was
+  // nothing runnable (everything pending is busy on other threads).
+  virtual Status BackgroundWork(bool* did_work) = 0;
+
+  // Lock-free read path (no DB mutex): reads a published tree version.
+  virtual Status Get(const ReadOptions& options, const LookupKey& key,
+                     std::string* value) = 0;
+
+  // Appends internal-key iterators covering the whole tree (no DB mutex).
+  // Iterators pin the version they read.
+  virtual void AddIterators(const ReadOptions& options,
+                            std::vector<Iterator*>* iters) = 0;
+
+  // Write-throttling decision (DB mutex held).
+  virtual WritePressure GetWritePressure() const = 0;
+
+  // Engine-specific statistics (no DB mutex; reads the published version).
+  virtual void FillStats(DbStats* stats) const = 0;
+
+  // Current published tree version (lock-free).
+  virtual TreeVersionPtr current_version() const = 0;
+
+  // Validates structural invariants of the published version (range
+  // disjointness, node-count thresholds, node size budgets).  Counts are
+  // only guaranteed at quiescence; `quiescent` enables those checks.
+  virtual Status CheckInvariants(bool quiescent) const = 0;
+};
+
+}  // namespace iamdb

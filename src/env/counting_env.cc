@@ -1,0 +1,119 @@
+#include "env/counting_env.h"
+
+namespace iamdb {
+
+namespace {
+
+class CountingSequentialFile final : public SequentialFile {
+ public:
+  CountingSequentialFile(std::unique_ptr<SequentialFile> target,
+                         IoStats* stats)
+      : target_(std::move(target)), stats_(stats) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = target_->Read(n, result, scratch);
+    if (s.ok() && !result->empty()) {
+      stats_->RecordRead(result->size());
+      OpIoScope::RecordRead(result->size());
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override { return target_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> target_;
+  IoStats* stats_;
+};
+
+class CountingRandomAccessFile final : public RandomAccessFile {
+ public:
+  CountingRandomAccessFile(std::unique_ptr<RandomAccessFile> target,
+                           IoStats* stats)
+      : target_(std::move(target)), stats_(stats) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = target_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      stats_->RecordRead(result->size());
+      OpIoScope::RecordRead(result->size());
+    }
+    return s;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> target_;
+  IoStats* stats_;
+};
+
+class CountingWritableFile final : public WritableFile {
+ public:
+  CountingWritableFile(std::unique_ptr<WritableFile> target, IoStats* stats)
+      : target_(std::move(target)), stats_(stats) {}
+
+  Status Append(const Slice& data) override {
+    Status s = target_->Append(data);
+    if (s.ok()) {
+      stats_->RecordWrite(data.size());
+      OpIoScope::RecordWrite(data.size());
+    }
+    return s;
+  }
+  Status Close() override { return target_->Close(); }
+  Status Flush() override { return target_->Flush(); }
+  Status Sync() override {
+    stats_->RecordSync();
+    return target_->Sync();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> target_;
+  IoStats* stats_;
+};
+
+}  // namespace
+
+Status CountingEnv::NewSequentialFile(const std::string& fname,
+                                      std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> inner;
+  Status s = target()->NewSequentialFile(fname, &inner);
+  if (s.ok()) {
+    *result =
+        std::make_unique<CountingSequentialFile>(std::move(inner), stats_);
+  }
+  return s;
+}
+
+Status CountingEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> inner;
+  Status s = target()->NewRandomAccessFile(fname, &inner);
+  if (s.ok()) {
+    *result =
+        std::make_unique<CountingRandomAccessFile>(std::move(inner), stats_);
+  }
+  return s;
+}
+
+Status CountingEnv::NewWritableFile(const std::string& fname,
+                                    std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> inner;
+  Status s = target()->NewWritableFile(fname, &inner);
+  if (s.ok()) {
+    *result = std::make_unique<CountingWritableFile>(std::move(inner), stats_);
+  }
+  return s;
+}
+
+Status CountingEnv::NewAppendableFile(const std::string& fname,
+                                      std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> inner;
+  Status s = target()->NewAppendableFile(fname, &inner);
+  if (s.ok()) {
+    *result = std::make_unique<CountingWritableFile>(std::move(inner), stats_);
+  }
+  return s;
+}
+
+}  // namespace iamdb

@@ -1,0 +1,33 @@
+// CountingEnv: wraps any Env and records every byte and every positional
+// read into an IoStats sink plus the calling thread's OpIoContext.  This is
+// how write amplification, read amplification and modeled device time are
+// measured without touching engine code.
+#pragma once
+
+#include "env/env.h"
+#include "stats/io_stats.h"
+
+namespace iamdb {
+
+class CountingEnv final : public EnvWrapper {
+ public:
+  CountingEnv(Env* target, IoStats* stats)
+      : EnvWrapper(target), stats_(stats) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override;
+
+  IoStats* stats() const { return stats_; }
+
+ private:
+  IoStats* stats_;
+};
+
+}  // namespace iamdb

@@ -1,0 +1,197 @@
+#include "env/mem_env.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace iamdb {
+
+class MemSequentialFile final : public SequentialFile {
+ public:
+  explicit MemSequentialFile(std::shared_ptr<MemEnv::FileState> file)
+      : file_(std::move(file)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    std::lock_guard<std::mutex> l(file_->mu);
+    if (pos_ >= file_->contents.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail = file_->contents.size() - pos_;
+    size_t len = std::min(n, avail);
+    std::memcpy(scratch, file_->contents.data() + pos_, len);
+    pos_ += len;
+    *result = Slice(scratch, len);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    std::lock_guard<std::mutex> l(file_->mu);
+    pos_ = std::min<uint64_t>(pos_ + n, file_->contents.size());
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemEnv::FileState> file_;
+  uint64_t pos_ = 0;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<MemEnv::FileState> file)
+      : file_(std::move(file)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::lock_guard<std::mutex> l(file_->mu);
+    if (offset >= file_->contents.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t len = std::min<size_t>(n, file_->contents.size() - offset);
+    std::memcpy(scratch, file_->contents.data() + offset, len);
+    *result = Slice(scratch, len);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemEnv::FileState> file_;
+};
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<MemEnv::FileState> file)
+      : file_(std::move(file)) {}
+
+  Status Append(const Slice& data) override {
+    std::lock_guard<std::mutex> l(file_->mu);
+    file_->contents.append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<MemEnv::FileState> file_;
+};
+
+Status MemEnv::NewSequentialFile(const std::string& fname,
+                                 std::unique_ptr<SequentialFile>* result) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) return Status::NotFound(fname);
+  *result = std::make_unique<MemSequentialFile>(it->second);
+  return Status::OK();
+}
+
+Status MemEnv::NewRandomAccessFile(const std::string& fname,
+                                   std::unique_ptr<RandomAccessFile>* result) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) return Status::NotFound(fname);
+  *result = std::make_unique<MemRandomAccessFile>(it->second);
+  return Status::OK();
+}
+
+Status MemEnv::NewWritableFile(const std::string& fname,
+                               std::unique_ptr<WritableFile>* result) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto file = std::make_shared<FileState>();
+  files_[fname] = file;
+  *result = std::make_unique<MemWritableFile>(std::move(file));
+  return Status::OK();
+}
+
+Status MemEnv::NewAppendableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  FileRef file;
+  if (it == files_.end()) {
+    file = std::make_shared<FileState>();
+    files_[fname] = file;
+  } else {
+    file = it->second;
+  }
+  *result = std::make_unique<MemWritableFile>(std::move(file));
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& fname) {
+  std::lock_guard<std::mutex> l(mu_);
+  return files_.count(fname) > 0;
+}
+
+Status MemEnv::GetChildren(const std::string& dir,
+                           std::vector<std::string>* result) {
+  result->clear();
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& [name, _] : files_) {
+    if (name.size() > prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0 &&
+        name.find('/', prefix.size()) == std::string::npos) {
+      result->push_back(name.substr(prefix.size()));
+    }
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RemoveFile(const std::string& fname) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (files_.erase(fname) == 0) return Status::NotFound(fname);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDir(const std::string&) { return Status::OK(); }
+Status MemEnv::RemoveDir(const std::string&) { return Status::OK(); }
+
+Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) {
+    *size = 0;
+    return Status::NotFound(fname);
+  }
+  std::lock_guard<std::mutex> fl(it->second->mu);
+  *size = it->second->contents.size();
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(src);
+  if (it == files_.end()) return Status::NotFound(src);
+  files_[target] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+uint64_t MemEnv::NowMicros() { return Env::Default()->NowMicros(); }
+
+// Sleeps are elided: MemEnv exists for fast deterministic tests/benches;
+// timing comes from the device model, not the wall clock.
+void MemEnv::SleepForMicroseconds(int) {}
+
+uint64_t MemEnv::TotalBytes() {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t total = 0;
+  for (const auto& [_, file] : files_) {
+    std::lock_guard<std::mutex> fl(file->mu);
+    total += file->contents.size();
+  }
+  return total;
+}
+
+Status MemEnv::Truncate(const std::string& fname, uint64_t size) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  if (it == files_.end()) return Status::NotFound(fname);
+  std::lock_guard<std::mutex> fl(it->second->mu);
+  if (size < it->second->contents.size()) it->second->contents.resize(size);
+  return Status::OK();
+}
+
+}  // namespace iamdb

@@ -1,0 +1,62 @@
+// In-memory filesystem Env.  Deterministic and fast; the default substrate
+// for unit tests and for benchmarks whose timing comes from the device model
+// rather than real disks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+
+namespace iamdb {
+
+class MemEnv final : public Env {
+ public:
+  MemEnv() = default;
+  ~MemEnv() override = default;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+  uint64_t NowMicros() override;
+  void SleepForMicroseconds(int micros) override;
+
+  // Total bytes currently stored across all files (space-usage accounting).
+  uint64_t TotalBytes();
+
+  // Truncate a file to `size` bytes; simulates a crash that tore the tail
+  // off a log (failure-injection tests).
+  Status Truncate(const std::string& fname, uint64_t size);
+
+ private:
+  struct FileState {
+    std::mutex mu;
+    std::string contents;
+  };
+  using FileRef = std::shared_ptr<FileState>;
+
+  friend class MemSequentialFile;
+  friend class MemRandomAccessFile;
+  friend class MemWritableFile;
+
+  std::mutex mu_;
+  std::map<std::string, FileRef> files_;
+};
+
+}  // namespace iamdb

@@ -1,0 +1,236 @@
+// Real-filesystem Env on POSIX.  Used by examples and disk-backed benches;
+// unit tests mostly run on MemEnv for speed and determinism.
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "env/env.h"
+
+namespace iamdb {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  if (err == ENOENT) return Status::NotFound(context, strerror(err));
+  return Status::IOError(context, strerror(err));
+}
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    while (true) {
+      ssize_t r = ::read(fd_, scratch, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      *result = Slice(scratch, r);
+      return Status::OK();
+    }
+  }
+
+  Status Skip(uint64_t n) override {
+    if (::lseek(fd_, n, SEEK_CUR) == static_cast<off_t>(-1)) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  const int fd_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) return PosixError(fname_, errno);
+    *result = Slice(scratch, r);
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  const int fd_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, int fd)
+      : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) Close();
+  }
+
+  Status Append(const Slice& data) override {
+    const char* p = data.data();
+    size_t n = data.size();
+    while (n > 0) {
+      ssize_t r = ::write(fd_, p, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      p += r;
+      n -= r;
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    Status s;
+    if (fd_ >= 0 && ::close(fd_) < 0) s = PosixError(fname_, errno);
+    fd_ = -1;
+    return s;
+  }
+
+  Status Flush() override { return Status::OK(); }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) < 0) return PosixError(fname_, errno);
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixSequentialFile>(fname, fd);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixRandomAccessFile>(fname, fd);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    return OpenWritable(fname, O_TRUNC, result);
+  }
+
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override {
+    return OpenWritable(fname, O_APPEND, result);
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return ::access(fname.c_str(), F_OK) == 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    ::DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return PosixError(dir, errno);
+    struct ::dirent* entry;
+    while ((entry = ::readdir(d)) != nullptr) {
+      if (strcmp(entry->d_name, ".") == 0 || strcmp(entry->d_name, "..") == 0)
+        continue;
+      result->emplace_back(entry->d_name);
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (::unlink(fname.c_str()) != 0) return PosixError(fname, errno);
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    if (::mkdir(dirname.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    if (::rmdir(dirname.c_str()) != 0) return PosixError(dirname, errno);
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    struct ::stat st;
+    if (::stat(fname.c_str(), &st) != 0) {
+      *size = 0;
+      return PosixError(fname, errno);
+    }
+    *size = st.st_size;
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    if (::rename(src.c_str(), target.c_str()) != 0) {
+      return PosixError(src, errno);
+    }
+    return Status::OK();
+  }
+
+  uint64_t NowMicros() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepForMicroseconds(int micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+
+ private:
+  static Status OpenWritable(const std::string& fname, int extra_flags,
+                             std::unique_ptr<WritableFile>* result) {
+    int fd = ::open(fname.c_str(),
+                    O_WRONLY | O_CREAT | O_CLOEXEC | extra_flags, 0644);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixWritableFile>(fname, fd);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // intentionally leaked singleton
+  return env;
+}
+
+}  // namespace iamdb

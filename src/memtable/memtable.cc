@@ -1,0 +1,127 @@
+#include "memtable/memtable.h"
+
+#include "util/coding.h"
+
+namespace iamdb {
+
+namespace {
+
+// Entries are length-prefixed internal keys; decode for comparison.
+Slice GetLengthPrefixedSliceAt(const char* data) {
+  uint32_t len;
+  const char* p = data;
+  p = GetVarint32Ptr(p, p + 5, &len);
+  return Slice(p, len);
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* aptr,
+                                        const char* bptr) const {
+  Slice a = GetLengthPrefixedSliceAt(aptr);
+  Slice b = GetLengthPrefixedSliceAt(bptr);
+  return comparator.Compare(a, b);
+}
+
+MemTable::MemTable() : table_(comparator_, &arena_) {}
+
+MemTable::~MemTable() = default;
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key,
+                   const Slice& value) {
+  const size_t key_size = key.size();
+  const size_t val_size = value.size();
+  const size_t internal_key_size = key_size + 8;
+  const size_t encoded_len = VarintLength(internal_key_size) +
+                             internal_key_size + VarintLength(val_size) +
+                             val_size;
+  char* buf = arena_.Allocate(encoded_len);
+  char* p = EncodeVarint32(buf, static_cast<uint32_t>(internal_key_size));
+  std::memcpy(p, key.data(), key_size);
+  p += key_size;
+  EncodeFixed64(p, PackSequenceAndType(seq, type));
+  p += 8;
+  p = EncodeVarint32(p, static_cast<uint32_t>(val_size));
+  std::memcpy(p, value.data(), val_size);
+  assert(p + val_size == buf + encoded_len);
+  table_.Insert(buf);
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
+  data_bytes_.fetch_add(key_size + val_size, std::memory_order_relaxed);
+}
+
+bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {
+  Slice memkey = key.memtable_key();
+  Table::Iterator iter(&table_);
+  iter.Seek(memkey.data());
+  if (!iter.Valid()) return false;
+
+  // The seek landed on the first entry >= (user_key, seek_seq).  Check that
+  // it belongs to the same user key.
+  const char* entry = iter.key();
+  uint32_t key_length;
+  const char* key_ptr = GetVarint32Ptr(entry, entry + 5, &key_length);
+  if (Slice(key_ptr, key_length - 8) != key.user_key()) return false;
+
+  const uint64_t tag = DecodeFixed64(key_ptr + key_length - 8);
+  switch (static_cast<ValueType>(tag & 0xff)) {
+    case kTypeValue: {
+      Slice v = GetLengthPrefixedSliceAt(key_ptr + key_length);
+      value->assign(v.data(), v.size());
+      *s = Status::OK();
+      return true;
+    }
+    case kTypeDeletion:
+      *s = Status::NotFound(Slice());
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+
+class MemTableIterator final : public Iterator {
+ public:
+  explicit MemTableIterator(MemTable* mem)
+      : mem_(mem), iter_(&mem->table_) {
+    mem_->Ref();
+  }
+  ~MemTableIterator() override { mem_->Unref(); }
+
+  bool Valid() const override { return iter_.Valid(); }
+  void Seek(const Slice& k) override {
+    // Build a length-prefixed key for the skiplist.
+    tmp_.clear();
+    PutVarint32(&tmp_, static_cast<uint32_t>(k.size()));
+    tmp_.append(k.data(), k.size());
+    iter_.Seek(tmp_.data());
+  }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void SeekToLast() override { iter_.SeekToLast(); }
+  void Next() override { iter_.Next(); }
+  void Prev() override { iter_.Prev(); }
+  Slice key() const override {
+    const char* entry = iter_.key();
+    uint32_t key_length;
+    const char* key_ptr = GetVarint32Ptr(entry, entry + 5, &key_length);
+    return Slice(key_ptr, key_length);
+  }
+  Slice value() const override {
+    const char* entry = iter_.key();
+    uint32_t key_length;
+    const char* key_ptr = GetVarint32Ptr(entry, entry + 5, &key_length);
+    const char* value_ptr = key_ptr + key_length;
+    uint32_t value_length;
+    value_ptr = GetVarint32Ptr(value_ptr, value_ptr + 5, &value_length);
+    return Slice(value_ptr, value_length);
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable* mem_;
+  MemTable::Table::Iterator iter_;
+  std::string tmp_;
+};
+
+Iterator* MemTable::NewIterator() { return new MemTableIterator(this); }
+
+}  // namespace iamdb

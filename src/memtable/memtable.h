@@ -1,0 +1,71 @@
+// MemTable: the in-memory level (L0 of the LSA/IAM trees).  Entries are
+// arena-allocated skiplist records:
+//   varint32 internal_key_len | user_key | tag | varint32 value_len | value
+// Reference-counted because flushes hand the immutable memtable to a
+// background thread while readers may still be iterating it.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "core/dbformat.h"
+#include "memtable/skiplist.h"
+#include "table/iterator.h"
+#include "util/arena.h"
+
+namespace iamdb {
+
+class MemTable {
+ public:
+  MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+  // Total user-visible bytes added (key+value sizes), used for flush sizing.
+  uint64_t data_bytes() const {
+    return data_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // Iterator keys are internal keys; value() is the user value.
+  Iterator* NewIterator();
+
+  // REQUIRES: external synchronization for writers (DB write queue).
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  // If a version of key.user_key() with sequence <= key's is present:
+  // returns true and sets *s to OK (+ *value) for a put, NotFound for a
+  // tombstone.  Returns false if this memtable has no visible version.
+  bool Get(const LookupKey& key, std::string* value, Status* s);
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    InternalKeyComparator comparator;
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, KeyComparator>;
+
+  ~MemTable();  // private: use Unref()
+
+  std::atomic<int> refs_{0};
+  KeyComparator comparator_;
+  Arena arena_;
+  Table table_;
+  std::atomic<uint64_t> num_entries_{0};
+  std::atomic<uint64_t> data_bytes_{0};
+};
+
+}  // namespace iamdb

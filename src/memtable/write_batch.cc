@@ -1,0 +1,139 @@
+#include "memtable/write_batch.h"
+
+#include "memtable/memtable.h"
+#include "util/coding.h"
+
+namespace iamdb {
+
+static constexpr size_t kHeader = 12;  // 8B sequence + 4B count
+
+WriteBatch::WriteBatch() { Clear(); }
+
+void WriteBatch::Clear() {
+  rep_.clear();
+  rep_.resize(kHeader);
+}
+
+void WriteBatch::Put(const Slice& key, const Slice& value) {
+  WriteBatchInternal::SetCount(this, WriteBatchInternal::Count(this) + 1);
+  rep_.push_back(static_cast<char>(kTypeValue));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, value);
+}
+
+void WriteBatch::Delete(const Slice& key) {
+  WriteBatchInternal::SetCount(this, WriteBatchInternal::Count(this) + 1);
+  rep_.push_back(static_cast<char>(kTypeDeletion));
+  PutLengthPrefixedSlice(&rep_, key);
+}
+
+int WriteBatch::Count() const { return WriteBatchInternal::Count(this); }
+
+Status WriteBatch::Iterate(Handler* handler) const {
+  Slice input(rep_);
+  if (input.size() < kHeader) {
+    return Status::Corruption("malformed WriteBatch (too small)");
+  }
+  input.remove_prefix(kHeader);
+  Slice key, value;
+  int found = 0;
+  while (!input.empty()) {
+    found++;
+    char tag = input[0];
+    input.remove_prefix(1);
+    switch (static_cast<ValueType>(tag)) {
+      case kTypeValue:
+        if (GetLengthPrefixedSlice(&input, &key) &&
+            GetLengthPrefixedSlice(&input, &value)) {
+          handler->Put(key, value);
+        } else {
+          return Status::Corruption("bad WriteBatch Put");
+        }
+        break;
+      case kTypeDeletion:
+        if (GetLengthPrefixedSlice(&input, &key)) {
+          handler->Delete(key);
+        } else {
+          return Status::Corruption("bad WriteBatch Delete");
+        }
+        break;
+      default:
+        return Status::Corruption("unknown WriteBatch tag");
+    }
+  }
+  if (found != WriteBatchInternal::Count(this)) {
+    return Status::Corruption("WriteBatch has wrong count");
+  }
+  return Status::OK();
+}
+
+int WriteBatchInternal::Count(const WriteBatch* b) {
+  return static_cast<int>(DecodeFixed32(b->rep_.data() + 8));
+}
+
+void WriteBatchInternal::SetCount(WriteBatch* b, int n) {
+  EncodeFixed32(b->rep_.data() + 8, static_cast<uint32_t>(n));
+}
+
+SequenceNumber WriteBatchInternal::Sequence(const WriteBatch* b) {
+  return DecodeFixed64(b->rep_.data());
+}
+
+void WriteBatchInternal::SetSequence(WriteBatch* b, SequenceNumber seq) {
+  EncodeFixed64(b->rep_.data(), seq);
+}
+
+void WriteBatchInternal::SetContents(WriteBatch* b, const Slice& contents) {
+  assert(contents.size() >= kHeader);
+  b->rep_.assign(contents.data(), contents.size());
+}
+
+void WriteBatchInternal::Append(WriteBatch* dst, const WriteBatch* src) {
+  SetCount(dst, Count(dst) + Count(src));
+  assert(src->rep_.size() >= kHeader);
+  dst->rep_.append(src->rep_.data() + kHeader, src->rep_.size() - kHeader);
+}
+
+namespace {
+
+class MemTableInserter final : public WriteBatch::Handler {
+ public:
+  SequenceNumber sequence;
+  MemTable* mem;
+
+  void Put(const Slice& key, const Slice& value) override {
+    mem->Add(sequence, kTypeValue, key, value);
+    sequence++;
+  }
+  void Delete(const Slice& key) override {
+    mem->Add(sequence, kTypeDeletion, key, Slice());
+    sequence++;
+  }
+};
+
+class UserBytesCounter final : public WriteBatch::Handler {
+ public:
+  uint64_t bytes = 0;
+  void Put(const Slice& key, const Slice& value) override {
+    bytes += key.size() + value.size();
+  }
+  void Delete(const Slice& key) override { bytes += key.size(); }
+};
+
+}  // namespace
+
+Status WriteBatchInternal::InsertInto(const WriteBatch* batch,
+                                      MemTable* memtable) {
+  MemTableInserter inserter;
+  inserter.sequence = Sequence(batch);
+  inserter.mem = memtable;
+  return batch->Iterate(&inserter);
+}
+
+uint64_t WriteBatchInternal::UserBytes(const WriteBatch* batch) {
+  UserBytesCounter counter;
+  batch->Iterate(&counter);
+  return counter.bytes;
+}
+
+}  // namespace iamdb

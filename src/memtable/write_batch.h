@@ -1,0 +1,64 @@
+// WriteBatch: atomic group of updates.  Wire format (also the WAL record
+// payload):
+//   sequence (fixed64) | count (fixed32) | records
+//   record := kTypeValue  varstring key varstring value
+//           | kTypeDeletion varstring key
+// The DB's group-commit path concatenates batches, so one WAL record may
+// carry many user batches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/dbformat.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace iamdb {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  WriteBatch();
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  // Size of the serialized representation.
+  size_t ApproximateSize() const { return rep_.size(); }
+  int Count() const;
+
+  // Callers iterating the batch contents.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+ private:
+  friend class WriteBatchInternal;
+
+  std::string rep_;
+};
+
+// Internal plumbing used by the DB write path and WAL recovery.
+class WriteBatchInternal {
+ public:
+  static int Count(const WriteBatch* batch);
+  static void SetCount(WriteBatch* batch, int n);
+  static SequenceNumber Sequence(const WriteBatch* batch);
+  static void SetSequence(WriteBatch* batch, SequenceNumber seq);
+  static Slice Contents(const WriteBatch* batch) { return batch->rep_; }
+  static size_t ByteSize(const WriteBatch* batch) { return batch->rep_.size(); }
+  static void SetContents(WriteBatch* batch, const Slice& contents);
+  static Status InsertInto(const WriteBatch* batch, MemTable* memtable);
+  static void Append(WriteBatch* dst, const WriteBatch* src);
+  // Sum of user key+value bytes (amp accounting).
+  static uint64_t UserBytes(const WriteBatch* batch);
+};
+
+}  // namespace iamdb

@@ -1,0 +1,73 @@
+#include "stats/amp_stats.h"
+
+#include <cstdio>
+
+namespace iamdb {
+
+const char* WriteReasonName(WriteReason r) {
+  switch (r) {
+    case WriteReason::kWal: return "wal";
+    case WriteReason::kFlush: return "flush";
+    case WriteReason::kAppend: return "append";
+    case WriteReason::kMerge: return "merge";
+    case WriteReason::kSplit: return "split";
+    case WriteReason::kMove: return "move";
+    case WriteReason::kMetadata: return "metadata";
+    default: return "unknown";
+  }
+}
+
+double AmpStats::LevelWriteAmp(int level) const {
+  uint64_t user = user_bytes();
+  if (user == 0) return 0.0;
+  return static_cast<double>(level_bytes(level)) / user;
+}
+
+double AmpStats::TotalWriteAmp() const {
+  uint64_t user = user_bytes();
+  if (user == 0) return 0.0;
+  uint64_t total = 0;
+  for (int l = 0; l < kMaxLevels; l++) total += level_bytes(l);
+  // level_bytes_ never includes WAL traffic (see RecordLevelWrite callers:
+  // the WAL writer records reason kWal with level -1 routed to reasons
+  // only via AmpStats::RecordWal).
+  return static_cast<double>(total) / user;
+}
+
+int AmpStats::MaxRecordedLevel() const {
+  int max_level = 0;
+  for (int l = 0; l < kMaxLevels; l++) {
+    if (level_bytes(l) > 0) max_level = l;
+  }
+  return max_level;
+}
+
+std::string AmpStats::ToString() const {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "user=%.1fMB total_wamp=%.2f\n",
+                user_bytes() / 1048576.0, TotalWriteAmp());
+  out += buf;
+  for (int l = 0; l <= MaxRecordedLevel(); l++) {
+    std::snprintf(buf, sizeof(buf), "  L%d: %.2f (%.1fMB)\n", l,
+                  LevelWriteAmp(l), level_bytes(l) / 1048576.0);
+    out += buf;
+  }
+  for (int r = 0; r < static_cast<int>(WriteReason::kNumReasons); r++) {
+    uint64_t b = reason_bytes(static_cast<WriteReason>(r));
+    if (b == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  reason %s: %.1fMB\n",
+                  WriteReasonName(static_cast<WriteReason>(r)),
+                  b / 1048576.0);
+    out += buf;
+  }
+  return out;
+}
+
+void AmpStats::Reset() {
+  user_bytes_.store(0, std::memory_order_relaxed);
+  for (auto& b : level_bytes_) b.store(0, std::memory_order_relaxed);
+  for (auto& b : reason_bytes_) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace iamdb

@@ -1,0 +1,6 @@
+#include "stats/device_model.h"
+
+// Header-only logic; this TU anchors the component in the build and hosts
+// nothing else today.
+
+namespace iamdb {}  // namespace iamdb

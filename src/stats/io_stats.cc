@@ -1,0 +1,30 @@
+#include "stats/io_stats.h"
+
+namespace iamdb {
+
+namespace {
+thread_local OpIoContext* tls_op_ctx = nullptr;
+}  // namespace
+
+OpIoScope::OpIoScope() : prev_(tls_op_ctx) { tls_op_ctx = &ctx_; }
+
+OpIoScope::~OpIoScope() { tls_op_ctx = prev_; }
+
+const OpIoContext& OpIoScope::context() const { return ctx_; }
+
+void OpIoScope::RecordRead(uint64_t bytes) {
+  if (tls_op_ctx != nullptr) {
+    tls_op_ctx->seeks++;
+    tls_op_ctx->bytes_read += bytes;
+  }
+}
+
+void OpIoScope::RecordWrite(uint64_t bytes) {
+  if (tls_op_ctx != nullptr) tls_op_ctx->bytes_written += bytes;
+}
+
+void OpIoScope::RecordStall(uint64_t micros) {
+  if (tls_op_ctx != nullptr) tls_op_ctx->stall_micros += micros;
+}
+
+}  // namespace iamdb

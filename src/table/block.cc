@@ -1,0 +1,220 @@
+#include "table/block.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace iamdb {
+
+Block::Block(std::string contents)
+    : data_(std::move(contents)), restart_offset_(0), num_restarts_(0) {
+  if (data_.size() < sizeof(uint32_t)) {
+    malformed_ = true;
+    return;
+  }
+  num_restarts_ = DecodeFixed32(data_.data() + data_.size() - sizeof(uint32_t));
+  const size_t max_restarts =
+      (data_.size() - sizeof(uint32_t)) / sizeof(uint32_t);
+  if (num_restarts_ > max_restarts) {
+    malformed_ = true;
+    return;
+  }
+  restart_offset_ = static_cast<uint32_t>(
+      data_.size() - (1 + num_restarts_) * sizeof(uint32_t));
+}
+
+namespace {
+
+// Decodes the entry header at p; returns pointer to key delta, or nullptr
+// on corruption.
+const char* DecodeEntry(const char* p, const char* limit, uint32_t* shared,
+                        uint32_t* non_shared, uint32_t* value_length) {
+  if (limit - p < 3) return nullptr;
+  *shared = static_cast<uint8_t>(p[0]);
+  *non_shared = static_cast<uint8_t>(p[1]);
+  *value_length = static_cast<uint8_t>(p[2]);
+  if ((*shared | *non_shared | *value_length) < 128) {
+    // Fast path: all three values fit in one byte each.
+    p += 3;
+  } else {
+    if ((p = GetVarint32Ptr(p, limit, shared)) == nullptr) return nullptr;
+    if ((p = GetVarint32Ptr(p, limit, non_shared)) == nullptr) return nullptr;
+    if ((p = GetVarint32Ptr(p, limit, value_length)) == nullptr) return nullptr;
+  }
+  if (static_cast<uint32_t>(limit - p) < (*non_shared + *value_length)) {
+    return nullptr;
+  }
+  return p;
+}
+
+}  // namespace
+
+class Block::Iter final : public Iterator {
+ public:
+  Iter(const InternalKeyComparator* cmp, const char* data,
+       uint32_t restart_offset, uint32_t num_restarts)
+      : cmp_(cmp),
+        data_(data),
+        restarts_(restart_offset),
+        num_restarts_(num_restarts),
+        current_(restart_offset),
+        restart_index_(num_restarts) {}
+
+  bool Valid() const override { return current_ < restarts_; }
+  Status status() const override { return status_; }
+  Slice key() const override {
+    assert(Valid());
+    return Slice(key_);
+  }
+  Slice value() const override {
+    assert(Valid());
+    return value_;
+  }
+
+  void Next() override {
+    assert(Valid());
+    ParseNextKey();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    // Back up to the restart point just before current_, then walk forward.
+    const uint32_t original = current_;
+    while (GetRestartPoint(restart_index_) >= original) {
+      if (restart_index_ == 0) {
+        // No entries before the first one.
+        current_ = restarts_;
+        restart_index_ = num_restarts_;
+        return;
+      }
+      restart_index_--;
+    }
+    SeekToRestartPoint(restart_index_);
+    do {
+    } while (ParseNextKey() && NextEntryOffset() < original);
+  }
+
+  void Seek(const Slice& target) override {
+    // Binary search over restart points for the last restart with key <
+    // target, then linear scan.
+    uint32_t left = 0;
+    uint32_t right = num_restarts_ - 1;
+    while (left < right) {
+      uint32_t mid = (left + right + 1) / 2;
+      uint32_t region_offset = GetRestartPoint(mid);
+      uint32_t shared, non_shared, value_length;
+      const char* key_ptr =
+          DecodeEntry(data_ + region_offset, data_ + restarts_, &shared,
+                      &non_shared, &value_length);
+      if (key_ptr == nullptr || (shared != 0)) {
+        CorruptionError();
+        return;
+      }
+      Slice mid_key(key_ptr, non_shared);
+      if (cmp_->Compare(mid_key, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    SeekToRestartPoint(left);
+    while (true) {
+      if (!ParseNextKey()) return;
+      if (cmp_->Compare(Slice(key_), target) >= 0) return;
+    }
+  }
+
+  void SeekToFirst() override {
+    if (num_restarts_ == 0) {
+      current_ = restarts_;
+      return;
+    }
+    SeekToRestartPoint(0);
+    ParseNextKey();
+  }
+
+  void SeekToLast() override {
+    if (num_restarts_ == 0) {
+      current_ = restarts_;
+      return;
+    }
+    SeekToRestartPoint(num_restarts_ - 1);
+    while (ParseNextKey() && NextEntryOffset() < restarts_) {
+    }
+  }
+
+ private:
+  uint32_t NextEntryOffset() const {
+    return static_cast<uint32_t>((value_.data() + value_.size()) - data_);
+  }
+
+  uint32_t GetRestartPoint(uint32_t index) const {
+    assert(index < num_restarts_);
+    return DecodeFixed32(data_ + restarts_ + index * sizeof(uint32_t));
+  }
+
+  void SeekToRestartPoint(uint32_t index) {
+    key_.clear();
+    restart_index_ = index;
+    // ParseNextKey starts from value_'s end; point it at the restart.
+    uint32_t offset = GetRestartPoint(index);
+    value_ = Slice(data_ + offset, 0);
+  }
+
+  void CorruptionError() {
+    current_ = restarts_;
+    restart_index_ = num_restarts_;
+    status_ = Status::Corruption("bad entry in block");
+    key_.clear();
+    value_.clear();
+  }
+
+  bool ParseNextKey() {
+    current_ = NextEntryOffset();
+    const char* p = data_ + current_;
+    const char* limit = data_ + restarts_;
+    if (p >= limit) {
+      current_ = restarts_;
+      restart_index_ = num_restarts_;
+      return false;
+    }
+
+    uint32_t shared, non_shared, value_length;
+    p = DecodeEntry(p, limit, &shared, &non_shared, &value_length);
+    if (p == nullptr || key_.size() < shared) {
+      CorruptionError();
+      return false;
+    }
+    key_.resize(shared);
+    key_.append(p, non_shared);
+    value_ = Slice(p + non_shared, value_length);
+    while (restart_index_ + 1 < num_restarts_ &&
+           GetRestartPoint(restart_index_ + 1) < current_) {
+      restart_index_++;
+    }
+    return true;
+  }
+
+  const InternalKeyComparator* const cmp_;
+  const char* const data_;
+  uint32_t const restarts_;
+  uint32_t const num_restarts_;
+
+  uint32_t current_;        // offset of current entry
+  uint32_t restart_index_;  // restart block containing current_
+  std::string key_;
+  Slice value_;
+  Status status_;
+};
+
+Iterator* Block::NewIterator(const InternalKeyComparator* cmp) const {
+  if (malformed_) {
+    return NewErrorIterator(Status::Corruption("bad block contents"));
+  }
+  if (num_restarts_ == 0) {
+    return NewEmptyIterator();
+  }
+  return new Iter(cmp, data_.data(), restart_offset_, num_restarts_);
+}
+
+}  // namespace iamdb

@@ -1,0 +1,44 @@
+// BlockBuilder: serializes sorted key/value entries into one ~4KB block with
+// shared-prefix key compression and restart points for binary search.
+//
+// Entry:   shared_len | non_shared_len | value_len | key_delta | value
+// Trailer: restart offsets (fixed32 each) | num_restarts (fixed32)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace iamdb {
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+
+  // REQUIRES: key > all previously added keys (internal-key order is
+  // enforced by callers; the builder itself is comparator-agnostic).
+  void Add(const Slice& key, const Slice& value);
+
+  // Finish building; returns a slice valid until Reset().
+  Slice Finish();
+
+  size_t CurrentSizeEstimate() const;
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;
+  bool finished_;
+  std::string last_key_;
+};
+
+}  // namespace iamdb

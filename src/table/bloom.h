@@ -1,0 +1,33 @@
+// Bloom filter over user keys.  One filter per sequence: a point read
+// consults the filter before seeking a data block, which is what lets LSA
+// and IAM keep point-read amplification ~1 despite multi-sequence nodes
+// (paper Sec 5.3.2; 14 bits/key -> ~0.2% false positives).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace iamdb {
+
+class BloomFilterPolicy {
+ public:
+  explicit BloomFilterPolicy(int bits_per_key);
+
+  // Append the filter for keys[0..n-1] to *dst.
+  void CreateFilter(const std::vector<Slice>& keys, std::string* dst) const;
+
+  // May return true for keys not in the filter (false positive); never
+  // returns false for a key that was in it.
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const;
+
+  int bits_per_key() const { return bits_per_key_; }
+
+ private:
+  int bits_per_key_;
+  int k_;  // number of probes
+};
+
+}  // namespace iamdb

@@ -1,0 +1,101 @@
+#include "table/cache.h"
+
+#include <atomic>
+
+namespace iamdb {
+
+struct LruCache::Shard {
+  struct Entry {
+    std::string key;
+    ValuePtr value;
+    size_t charge;
+  };
+  using List = std::list<Entry>;
+
+  std::mutex mu;
+  List lru;  // front = most recent
+  std::unordered_map<std::string, List::iterator> index;
+  size_t usage = 0;
+  size_t capacity = 0;
+
+  void EvictIfNeeded() {
+    while (usage > capacity && !lru.empty()) {
+      const Entry& victim = lru.back();
+      usage -= victim.charge;
+      index.erase(victim.key);
+      lru.pop_back();
+    }
+  }
+};
+
+LruCache::LruCache(size_t capacity_bytes)
+    : capacity_(capacity_bytes), shards_(new Shard[kNumShards]) {
+  for (int i = 0; i < kNumShards; i++) {
+    shards_[i].capacity = capacity_bytes / kNumShards;
+  }
+}
+
+LruCache::~LruCache() = default;
+
+LruCache::Shard* LruCache::GetShard(const Slice& key) {
+  return &shards_[Hash(key) % kNumShards];
+}
+
+void LruCache::Insert(const Slice& key, ValuePtr value, size_t charge) {
+  Shard* shard = GetShard(key);
+  std::lock_guard<std::mutex> l(shard->mu);
+  std::string k = key.ToString();
+  auto it = shard->index.find(k);
+  if (it != shard->index.end()) {
+    shard->usage -= it->second->charge;
+    shard->lru.erase(it->second);
+    shard->index.erase(it);
+  }
+  shard->lru.push_front(Shard::Entry{std::move(k), std::move(value), charge});
+  shard->index[shard->lru.front().key] = shard->lru.begin();
+  shard->usage += charge;
+  shard->EvictIfNeeded();
+}
+
+LruCache::ValuePtr LruCache::Lookup(const Slice& key) {
+  Shard* shard = GetShard(key);
+  std::lock_guard<std::mutex> l(shard->mu);
+  auto it = shard->index.find(key.ToString());
+  if (it == shard->index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+  return it->second->value;
+}
+
+void LruCache::Erase(const Slice& key) {
+  Shard* shard = GetShard(key);
+  std::lock_guard<std::mutex> l(shard->mu);
+  auto it = shard->index.find(key.ToString());
+  if (it == shard->index.end()) return;
+  shard->usage -= it->second->charge;
+  shard->lru.erase(it->second);
+  shard->index.erase(it);
+}
+
+size_t LruCache::usage() const {
+  size_t total = 0;
+  for (int i = 0; i < kNumShards; i++) {
+    std::lock_guard<std::mutex> l(shards_[i].mu);
+    total += shards_[i].usage;
+  }
+  return total;
+}
+
+void LruCache::SetCapacity(size_t capacity_bytes) {
+  capacity_ = capacity_bytes;
+  for (int i = 0; i < kNumShards; i++) {
+    std::lock_guard<std::mutex> l(shards_[i].mu);
+    shards_[i].capacity = capacity_bytes / kNumShards;
+    shards_[i].EvictIfNeeded();
+  }
+}
+
+}  // namespace iamdb

@@ -1,0 +1,64 @@
+// Sharded LRU cache.  Used as the block cache — the explicit stand-in for
+// the OS page cache in the paper's setup.  The IAM (m,k) tuner reads the
+// capacity from here (paper Sec 5.1.3 measures residency with mincore; we
+// control residency directly, see DESIGN.md).
+//
+// Values are held by shared_ptr so eviction never invalidates a concurrent
+// reader; charge accounting uses the caller-declared byte size.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/slice.h"
+
+namespace iamdb {
+
+class LruCache {
+ public:
+  using ValuePtr = std::shared_ptr<const void>;
+
+  explicit LruCache(size_t capacity_bytes);
+  ~LruCache();  // out-of-line: Shard is incomplete here
+
+  // Insert (replacing any existing entry); the cache holds `value` until
+  // evicted.
+  void Insert(const Slice& key, ValuePtr value, size_t charge);
+
+  // Returns the value or nullptr; promotes the entry to most-recent.
+  ValuePtr Lookup(const Slice& key);
+
+  void Erase(const Slice& key);
+
+  size_t usage() const;
+  size_t capacity() const { return capacity_; }
+  void SetCapacity(size_t capacity_bytes);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard;
+  static constexpr int kNumShards = 16;
+
+  Shard* GetShard(const Slice& key);
+
+  size_t capacity_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+// Typed convenience wrapper.
+template <typename T>
+std::shared_ptr<const T> CacheLookup(LruCache& cache, const Slice& key) {
+  return std::static_pointer_cast<const T>(cache.Lookup(key));
+}
+
+}  // namespace iamdb

@@ -1,0 +1,100 @@
+// On-disk physical format shared by all tables.
+//
+// Every block (data, index, bloom, footer payloads) is stored as
+//   contents | crc32c(contents) (fixed32, masked)
+// and addressed by a BlockHandle {offset, size-of-contents}.
+//
+// MSTable file layout (the paper's Multiple Sequence Table, Sec 4.1):
+//
+//   [seq 0 data blocks][seq 1 data blocks] ... | metadata region | trailer
+//
+// Each *append* writes the new sequence's data blocks at the end of the
+// file, then a fresh metadata region describing ALL sequences (per-sequence
+// index block + bloom block + descriptor list), then a fixed-size trailer.
+// The previous metadata region becomes a dead zone inside the file — the
+// moral equivalent of the paper's "hole"; it is reclaimed when the node is
+// merged or split.  Metadata stays clustered so opening a node costs one
+// contiguous read.
+//
+// The manifest records `meta_end` (offset just past the trailer) for each
+// node version, so a crash mid-append is invisible: recovery reads the
+// trailer at the recorded offset and garbage past it is ignored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "util/coding.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace iamdb {
+
+class BlockHandle {
+ public:
+  BlockHandle() : offset_(0), size_(0) {}
+  BlockHandle(uint64_t offset, uint64_t size) : offset_(offset), size_(size) {}
+
+  uint64_t offset() const { return offset_; }
+  uint64_t size() const { return size_; }
+  void set_offset(uint64_t offset) { offset_ = offset; }
+  void set_size(uint64_t size) { size_ = size; }
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint64(dst, offset_);
+    PutVarint64(dst, size_);
+  }
+  Status DecodeFrom(Slice* input) {
+    if (GetVarint64(input, &offset_) && GetVarint64(input, &size_)) {
+      return Status::OK();
+    }
+    return Status::Corruption("bad block handle");
+  }
+
+ private:
+  uint64_t offset_;
+  uint64_t size_;
+};
+
+// Descriptor of one sorted sequence inside an MSTable.
+struct SequenceMeta {
+  BlockHandle index_handle;   // index block: last-key -> data BlockHandle
+  BlockHandle bloom_handle;   // whole-sequence bloom filter
+  uint64_t num_entries = 0;
+  uint64_t data_bytes = 0;    // total size of this sequence's data blocks
+  std::string smallest;       // internal keys
+  std::string largest;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+};
+
+// Trailer at `meta_end - kSize`:
+//   region_start | meta_handle (2 fixed64) | seq_count | magic | crc
+// region_start is the file offset where this metadata region begins, so a
+// reader fetches the whole clustered metadata with one contiguous read.
+struct MSTableTrailer {
+  uint64_t region_start = 0;
+  BlockHandle meta_handle;  // the descriptor block (list of SequenceMeta)
+  uint32_t seq_count = 0;
+
+  static constexpr size_t kSize = 8 + 8 + 8 + 4 + 8 + 4;
+  static constexpr uint64_t kMagic = 0x1a4d5462'69616d64ull;  // "iamdbMT"-ish
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& input);
+};
+
+// Reads the block named by `handle`, verifying its CRC.  On success,
+// *contents owns the bytes.
+Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
+                         bool verify_checksums, std::string* contents);
+
+// Appends `contents | crc` to file and fills *handle (offset must be the
+// current end of file, tracked by the caller).
+Status WriteBlock(WritableFile* file, uint64_t offset, const Slice& contents,
+                  BlockHandle* handle);
+
+}  // namespace iamdb

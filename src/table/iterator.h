@@ -1,0 +1,52 @@
+// Iterator: the uniform cursor abstraction over blocks, sequences, nodes,
+// levels and whole trees — bidirectional at every layer, including the
+// user-facing DB iterator.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace iamdb {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator();
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  // Position at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  // REQUIRES: Valid().  Slices remain valid until the next mutation.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+
+  // Register a function to run when this iterator is destroyed — used to
+  // pin blocks / versions for the iterator's lifetime.
+  void RegisterCleanup(std::function<void()> fn);
+
+ private:
+  struct Cleanup {
+    std::function<void()> fn;
+    Cleanup* next = nullptr;
+  };
+  Cleanup* cleanup_head_ = nullptr;
+};
+
+// Singleton-style helpers.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace iamdb

@@ -1,0 +1,140 @@
+#include "table/merging_iterator.h"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace iamdb {
+
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(const InternalKeyComparator* comparator, Iterator** children,
+                  int n)
+      : comparator_(comparator), current_(nullptr) {
+    children_.reserve(n);
+    for (int i = 0; i < n; i++) children_.emplace_back(children[i]);
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) child->SeekToLast();
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    assert(Valid());
+    if (direction_ != kForward) {
+      // All non-current children must be repositioned after current's key.
+      for (auto& child : children_) {
+        if (child.get() == current_) continue;
+        child->Seek(key());
+        if (child->Valid() &&
+            comparator_->Compare(key(), child->key()) == 0) {
+          child->Next();
+        }
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    if (direction_ != kReverse) {
+      for (auto& child : children_) {
+        if (child.get() == current_) continue;
+        child->Seek(key());
+        if (child->Valid()) {
+          child->Prev();  // entry strictly before key()
+        } else {
+          child->SeekToLast();  // everything in child is before key()
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return current_->key();
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  // Linear scan: child counts are small (sequences per node <= 2t) and this
+  // keeps ties deterministic (lowest index wins).
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (smallest == nullptr ||
+          comparator_->Compare(child->key(), smallest->key()) < 0) {
+        smallest = child.get();
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      auto& child = *it;
+      if (!child->Valid()) continue;
+      if (largest == nullptr ||
+          comparator_->Compare(child->key(), largest->key()) > 0) {
+        largest = child.get();
+      }
+    }
+    current_ = largest;
+  }
+
+  const InternalKeyComparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+  Direction direction_ = kForward;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const InternalKeyComparator* comparator,
+                             Iterator** children, int n) {
+  assert(n >= 0);
+  if (n == 0) return NewEmptyIterator();
+  if (n == 1) return children[0];
+  return new MergingIterator(comparator, children, n);
+}
+
+}  // namespace iamdb

@@ -1,0 +1,20 @@
+// MergingIterator: k-way merge over child iterators, yielding their union
+// in internal-key order.  This is how multi-sequence MSTable nodes, levels
+// and the whole tree are presented as one sorted stream (paper Sec 4.1:
+// "a scan ... merges them to get the sorted result").
+#pragma once
+
+#include "core/dbformat.h"
+#include "table/iterator.h"
+
+namespace iamdb {
+
+// Takes ownership of children[0..n-1].  When two children are positioned on
+// equal keys, the child with the smaller index wins first — callers order
+// children newest-first so MVCC resolution in db_iter sees newest versions
+// first (internal keys already embed the sequence number, so exact ties
+// cannot occur across valid inputs).
+Iterator* NewMergingIterator(const InternalKeyComparator* comparator,
+                             Iterator** children, int n);
+
+}  // namespace iamdb

@@ -1,0 +1,98 @@
+#include "table/sequence_builder.h"
+
+#include <cassert>
+
+namespace iamdb {
+
+SequenceBuilder::SequenceBuilder(const TableOptions& options,
+                                 WritableFile* file, uint64_t start_offset)
+    : options_(options),
+      bloom_policy_(options.bloom_bits_per_key),
+      file_(file),
+      start_offset_(start_offset),
+      offset_(start_offset),
+      data_block_(options.block_restart_interval),
+      index_block_(1) {}
+
+Status SequenceBuilder::Add(const Slice& internal_key, const Slice& value) {
+  assert(!finished_);
+  if (!status_.ok()) return status_;
+  assert(meta_.num_entries == 0 ||
+         icmp_.Compare(internal_key, Slice(last_key_)) > 0);
+
+  if (pending_index_entry_) {
+    // First key of a new block: a short separator between the previous
+    // block's last key and this key indexes the previous block.
+    assert(data_block_.empty());
+    icmp_.FindShortestSeparator(&last_key_, internal_key);
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(last_key_, handle_encoding);
+    pending_index_entry_ = false;
+  }
+
+  if (meta_.num_entries == 0) {
+    meta_.smallest.assign(internal_key.data(), internal_key.size());
+  }
+  last_key_.assign(internal_key.data(), internal_key.size());
+  meta_.num_entries++;
+
+  bloom_key_offsets_.push_back(bloom_keys_flat_.size());
+  Slice user_key = ExtractUserKey(internal_key);
+  bloom_keys_flat_.append(user_key.data(), user_key.size());
+
+  data_block_.Add(internal_key, value);
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
+    status_ = FlushDataBlock();
+  }
+  return status_;
+}
+
+Status SequenceBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return Status::OK();
+  Slice contents = data_block_.Finish();
+  Status s = WriteBlock(file_, offset_, contents, &pending_handle_);
+  if (!s.ok()) return s;
+  offset_ += contents.size() + 4;  // + crc
+  data_block_.Reset();
+  pending_index_entry_ = true;
+  return Status::OK();
+}
+
+Status SequenceBuilder::Finish() {
+  assert(!finished_);
+  finished_ = true;
+  // Record the true largest key before FindShortSuccessor mutates last_key_.
+  meta_.largest = last_key_;
+  if (status_.ok()) status_ = FlushDataBlock();
+  if (!status_.ok()) return status_;
+
+  if (pending_index_entry_) {
+    icmp_.FindShortSuccessor(&last_key_);
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(last_key_, handle_encoding);
+    pending_index_entry_ = false;
+  }
+  // last_key_ was mutated by FindShortSuccessor only after recording the
+  // true largest key below.
+  index_contents_ = index_block_.Finish().ToString();
+
+  // Build the whole-sequence bloom over user keys.
+  std::vector<Slice> keys;
+  keys.reserve(bloom_key_offsets_.size());
+  for (size_t i = 0; i < bloom_key_offsets_.size(); i++) {
+    size_t begin = bloom_key_offsets_[i];
+    size_t end = (i + 1 < bloom_key_offsets_.size())
+                     ? bloom_key_offsets_[i + 1]
+                     : bloom_keys_flat_.size();
+    keys.emplace_back(bloom_keys_flat_.data() + begin, end - begin);
+  }
+  bloom_contents_.clear();
+  bloom_policy_.CreateFilter(keys, &bloom_contents_);
+
+  meta_.data_bytes = offset_ - start_offset_;
+  return Status::OK();
+}
+
+}  // namespace iamdb

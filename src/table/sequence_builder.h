@@ -1,0 +1,75 @@
+// SequenceBuilder: writes one sorted sequence's data blocks into an MSTable
+// file.  The index and bloom contents are returned to the caller (the
+// MSTable writer) rather than written inline, because MSTables cluster all
+// metadata at the end of the file (paper Sec 4.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dbformat.h"
+#include "env/env.h"
+#include "table/block_builder.h"
+#include "table/bloom.h"
+#include "table/format.h"
+#include "table/table_options.h"
+
+namespace iamdb {
+
+class SequenceBuilder {
+ public:
+  // Writes data blocks to *file starting at file offset `start_offset`
+  // (which must be the file's current end).  Neither pointer is owned.
+  SequenceBuilder(const TableOptions& options, WritableFile* file,
+                  uint64_t start_offset);
+
+  SequenceBuilder(const SequenceBuilder&) = delete;
+  SequenceBuilder& operator=(const SequenceBuilder&) = delete;
+
+  // REQUIRES: internal keys added in strictly increasing order.
+  Status Add(const Slice& internal_key, const Slice& value);
+
+  // Flushes the final data block.  After Finish():
+  //  * meta() describes the sequence (handles unset — the MSTable writer
+  //    fills them after writing the metadata region),
+  //  * index_contents() / bloom_contents() are ready to be written there,
+  //  * end_offset() is the file offset just past the last data block.
+  Status Finish();
+
+  uint64_t num_entries() const { return meta_.num_entries; }
+  uint64_t end_offset() const { return offset_; }
+  const SequenceMeta& meta() const { return meta_; }
+  SequenceMeta& mutable_meta() { return meta_; }
+  Slice index_contents() const { return index_contents_; }
+  Slice bloom_contents() const { return bloom_contents_; }
+
+ private:
+  Status FlushDataBlock();
+
+  const TableOptions options_;
+  InternalKeyComparator icmp_;
+  BloomFilterPolicy bloom_policy_;
+  WritableFile* file_;
+  uint64_t start_offset_;
+  uint64_t offset_;
+
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  std::string last_key_;
+  bool pending_index_entry_ = false;
+  BlockHandle pending_handle_;
+
+  // Bloom input: user keys of every entry, stored flat.
+  std::string bloom_keys_flat_;
+  std::vector<size_t> bloom_key_offsets_;
+
+  SequenceMeta meta_;
+  std::string index_contents_;
+  std::string bloom_contents_;
+  bool finished_ = false;
+  Status status_;
+};
+
+}  // namespace iamdb

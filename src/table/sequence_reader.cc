@@ -1,0 +1,110 @@
+#include "table/sequence_reader.h"
+
+#include "table/two_level_iterator.h"
+
+namespace iamdb {
+
+SequenceReader::SequenceReader(const TableOptions& options,
+                               const InternalKeyComparator* cmp,
+                               RandomAccessFile* file, uint64_t file_number,
+                               SequenceMeta meta, std::string index_contents,
+                               std::string bloom_contents)
+    : options_(options),
+      cmp_(cmp),
+      bloom_policy_(options.bloom_bits_per_key),
+      file_(file),
+      file_number_(file_number),
+      meta_(std::move(meta)),
+      index_contents_raw_(index_contents),  // keep a copy for appenders
+      bloom_contents_(std::move(bloom_contents)),
+      index_block_(std::move(index_contents)) {}
+
+bool SequenceReader::KeyMayMatch(const Slice& user_key) const {
+  return bloom_policy_.KeyMayMatch(user_key, bloom_contents_);
+}
+
+std::shared_ptr<const Block> SequenceReader::ReadDataBlock(
+    const ReadOptions& options, const BlockHandle& handle, Status* s) const {
+  char cache_key[16];
+  EncodeFixed64(cache_key, file_number_);
+  EncodeFixed64(cache_key + 8, handle.offset());
+  Slice key(cache_key, sizeof(cache_key));
+
+  if (options_.block_cache != nullptr) {
+    auto cached = CacheLookup<Block>(*options_.block_cache, key);
+    if (cached != nullptr) return cached;
+  }
+
+  std::string contents;
+  *s = ReadBlockContents(file_, handle,
+                         options.verify_checksums || options_.verify_checksums,
+                         &contents);
+  if (!s->ok()) return nullptr;
+  auto block = std::make_shared<const Block>(std::move(contents));
+  if (options_.block_cache != nullptr && options.fill_cache) {
+    options_.block_cache->Insert(key, block, block->size());
+  }
+  return block;
+}
+
+Iterator* SequenceReader::NewBlockIterator(const ReadOptions& options,
+                                           const Slice& index_value) const {
+  Slice input = index_value;
+  BlockHandle handle;
+  Status s = handle.DecodeFrom(&input);
+  if (!s.ok()) return NewErrorIterator(s);
+
+  std::shared_ptr<const Block> block = ReadDataBlock(options, handle, &s);
+  if (block == nullptr) return NewErrorIterator(s);
+  Iterator* iter = block->NewIterator(cmp_);
+  // Pin the block for the iterator's lifetime.
+  iter->RegisterCleanup([block]() mutable { block.reset(); });
+  return iter;
+}
+
+Status SequenceReader::Get(const ReadOptions& options, const Slice& ikey,
+                           std::string* value, GetState* state) const {
+  *state = GetState::kNotFound;
+  Slice user_key = ExtractUserKey(ikey);
+  if (!KeyMayMatch(user_key)) return Status::OK();
+
+  std::unique_ptr<Iterator> index_iter(index_block_.NewIterator(cmp_));
+  index_iter->Seek(ikey);
+  if (!index_iter->Valid()) return index_iter->status();
+
+  Slice input = index_iter->value();
+  BlockHandle handle;
+  Status s = handle.DecodeFrom(&input);
+  if (!s.ok()) return s;
+  std::shared_ptr<const Block> block = ReadDataBlock(options, handle, &s);
+  if (block == nullptr) return s;
+
+  std::unique_ptr<Iterator> block_iter(block->NewIterator(cmp_));
+  block_iter->Seek(ikey);
+  if (block_iter->Valid()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(block_iter->key(), &parsed)) {
+      *state = GetState::kCorrupt;
+      return Status::Corruption("bad internal key in sequence");
+    }
+    if (parsed.user_key == user_key) {
+      if (parsed.type == kTypeValue) {
+        value->assign(block_iter->value().data(), block_iter->value().size());
+        *state = GetState::kFound;
+      } else {
+        *state = GetState::kDeleted;
+      }
+    }
+  }
+  return block_iter->status();
+}
+
+Iterator* SequenceReader::NewIterator(const ReadOptions& options) const {
+  return NewTwoLevelIterator(
+      index_block_.NewIterator(cmp_),
+      [this, options](const Slice& index_value) {
+        return NewBlockIterator(options, index_value);
+      });
+}
+
+}  // namespace iamdb

@@ -1,0 +1,67 @@
+// SequenceReader: query interface over one sorted sequence of an MSTable.
+// Index and bloom contents live in memory (the paper assumes all table
+// metadata is cached); data blocks are fetched through the block cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/dbformat.h"
+#include "core/options.h"
+#include "table/block.h"
+#include "table/bloom.h"
+#include "table/cache.h"
+#include "table/format.h"
+#include "table/iterator.h"
+#include "table/table_options.h"
+
+namespace iamdb {
+
+class SequenceReader {
+ public:
+  // `file` must outlive the reader (owned by the MSTableReader).
+  SequenceReader(const TableOptions& options, const InternalKeyComparator* cmp,
+                 RandomAccessFile* file, uint64_t file_number,
+                 SequenceMeta meta, std::string index_contents,
+                 std::string bloom_contents);
+
+  SequenceReader(const SequenceReader&) = delete;
+  SequenceReader& operator=(const SequenceReader&) = delete;
+
+  const SequenceMeta& meta() const { return meta_; }
+  Slice index_contents() const { return index_contents_raw_; }
+  Slice bloom_contents() const { return bloom_contents_; }
+
+  // Bloom check on the user key; false means definitely absent.
+  bool KeyMayMatch(const Slice& user_key) const;
+
+  enum class GetState { kNotFound, kFound, kDeleted, kCorrupt };
+
+  // Looks up the newest entry for ikey's user key with sequence <= ikey's.
+  // kFound fills *value.
+  Status Get(const ReadOptions& options, const Slice& ikey, std::string* value,
+             GetState* state) const;
+
+  // Iterator over the full sequence (internal keys).
+  Iterator* NewIterator(const ReadOptions& options) const;
+
+ private:
+  Iterator* NewBlockIterator(const ReadOptions& options,
+                             const Slice& index_value) const;
+  std::shared_ptr<const Block> ReadDataBlock(const ReadOptions& options,
+                                             const BlockHandle& handle,
+                                             Status* s) const;
+
+  const TableOptions options_;
+  const InternalKeyComparator* cmp_;
+  BloomFilterPolicy bloom_policy_;
+  RandomAccessFile* file_;
+  uint64_t file_number_;
+  SequenceMeta meta_;
+  std::string index_contents_raw_;
+  std::string bloom_contents_;
+  Block index_block_;
+};
+
+}  // namespace iamdb

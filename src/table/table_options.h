@@ -1,0 +1,28 @@
+// Knobs for the physical table layer, shared by both engines.
+#pragma once
+
+#include <cstddef>
+
+namespace iamdb {
+
+class LruCache;
+
+struct TableOptions {
+  // Target uncompressed size of a data block (paper: records are
+  // partitioned into 4KB blocks).
+  size_t block_size = 4096;
+
+  // Keys between restart points for prefix compression.
+  int block_restart_interval = 16;
+
+  // Bloom bits per key; paper Sec 6.1 uses 14 (=> ~0.2% false positives).
+  int bloom_bits_per_key = 14;
+
+  // Verify block CRCs on read.
+  bool verify_checksums = true;
+
+  // Block cache, or nullptr to read through.  Not owned.
+  LruCache* block_cache = nullptr;
+};
+
+}  // namespace iamdb

@@ -1,0 +1,18 @@
+// TwoLevelIterator: composes an index iterator whose values name sub-
+// iterators (data blocks, or nodes within a level).  Bidirectional.
+#pragma once
+
+#include <functional>
+
+#include "table/iterator.h"
+
+namespace iamdb {
+
+// block_function turns an index value into the iterator over that entry's
+// contents; it may return nullptr on error (iterator becomes invalid with
+// the given status captured by the returned iterator itself).
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    std::function<Iterator*(const Slice& index_value)> block_function);
+
+}  // namespace iamdb

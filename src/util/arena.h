@@ -1,0 +1,51 @@
+// Arena: bump allocator backing the memtable skiplist.  Nodes live exactly
+// as long as the memtable, so per-object deallocation is unnecessary and a
+// bump pointer removes malloc from the write hot path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace iamdb {
+
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* Allocate(size_t bytes);
+  char* AllocateAligned(size_t bytes);
+
+  // Approximate total memory footprint, readable concurrently with
+  // allocation (used for memtable flush decisions).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace iamdb

@@ -1,0 +1,55 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace iamdb::crc32c {
+
+namespace {
+
+// Table-driven software CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+// Four-table slicing keeps it fast enough for block-sized payloads without
+// requiring SSE4.2.
+struct Tables {
+  uint32_t t[4][256];
+
+  constexpr Tables() : t{} {
+    constexpr uint32_t poly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; j++) {
+        crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; i++) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  uint32_t crc = ~init_crc;
+  // Process 4 bytes at a time.
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFF] ^ kTables.t[2][(crc >> 8) & 0xFF] ^
+          kTables.t[1][(crc >> 16) & 0xFF] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n--) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace iamdb::crc32c

@@ -1,0 +1,17 @@
+// Non-cryptographic hash used by Bloom filters and the block cache shards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace iamdb {
+
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+inline uint32_t Hash(const Slice& s, uint32_t seed = 0xbc9f1d34) {
+  return Hash(s.data(), s.size(), seed);
+}
+
+}  // namespace iamdb

@@ -1,0 +1,106 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace iamdb {
+
+namespace {
+// ~4.6% spacing between bucket limits gives percentile error well under the
+// run-to-run noise of any real benchmark while keeping the table small.
+std::vector<double> MakeLimits() {
+  std::vector<double> limits;
+  double v = 1.0;
+  while (v < 1e13) {
+    limits.push_back(v);
+    double next = v * 1.045;
+    // Keep limits integral below 100 for exact small-value reporting.
+    if (next < 100) next = std::max(next, v + 1.0);
+    v = next;
+  }
+  limits.push_back(1e200);
+  return limits;
+}
+const std::vector<double>& Limits() {
+  static const std::vector<double> kLimits = MakeLimits();
+  return kLimits;
+}
+}  // namespace
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  min_ = 1e200;
+  max_ = 0;
+  num_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  buckets_.assign(Limits().size(), 0);
+}
+
+void Histogram::Add(double value) {
+  const auto& limits = Limits();
+  size_t b =
+      std::upper_bound(limits.begin(), limits.end(), value) - limits.begin();
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  buckets_[b]++;
+  if (min_ > value) min_ = value;
+  if (max_ < value) max_ = value;
+  num_++;
+  sum_ += value;
+  sum_squares_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  num_ += other.num_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t b = 0; b < buckets_.size(); b++) buckets_[b] += other.buckets_[b];
+}
+
+double Histogram::Percentile(double p) const {
+  if (num_ == 0) return 0;
+  const auto& limits = Limits();
+  double threshold = num_ * (p / 100.0);
+  double cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    cumulative += buckets_[b];
+    if (cumulative >= threshold) {
+      // Interpolate inside the bucket.
+      double left = (b == 0) ? 0 : limits[b - 1];
+      double right = limits[b];
+      double left_sum = cumulative - buckets_[b];
+      double pos = buckets_[b] == 0
+                       ? 0
+                       : (threshold - left_sum) / buckets_[b];
+      double r = left + (right - left) * pos;
+      if (r < min_) r = min_;
+      if (r > max_) r = max_;
+      return r;
+    }
+  }
+  return max_;
+}
+
+double Histogram::Average() const { return num_ == 0 ? 0 : sum_ / num_; }
+
+double Histogram::StandardDeviation() const {
+  if (num_ == 0) return 0;
+  double variance =
+      (sum_squares_ * num_ - sum_ * sum_) / (static_cast<double>(num_) * num_);
+  return variance <= 0 ? 0 : std::sqrt(variance);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu avg=%.2f p50=%.2f p99=%.2f p99.9=%.2f max=%.2f",
+                static_cast<unsigned long long>(num_), Average(),
+                Percentile(50), Percentile(99), Percentile(99.9), Max());
+  return buf;
+}
+
+}  // namespace iamdb

@@ -1,0 +1,42 @@
+// Histogram with exponentially-spaced buckets for latency percentiles
+// (p50/p99/p999/max).  Thread-compatible: callers synchronize or keep one
+// histogram per thread and Merge().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iamdb {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  double Median() const { return Percentile(50.0); }
+  double Percentile(double p) const;  // p in [0,100]
+  double Average() const;
+  double StandardDeviation() const;
+  double Min() const { return num_ == 0 ? 0 : min_; }
+  double Max() const { return max_; }
+  uint64_t Count() const { return num_; }
+
+  std::string ToString() const;
+
+ private:
+  static const double kBucketLimit[];
+  static const int kNumBuckets;
+
+  double min_;
+  double max_;
+  uint64_t num_;
+  double sum_;
+  double sum_squares_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace iamdb

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random generators for tests and workload generation.
+// Benchmarks must be reproducible run-to-run, so nothing here seeds from the
+// clock.
+#pragma once
+
+#include <cstdint>
+
+namespace iamdb {
+
+// Park-Miller style generator, identical across platforms.
+class Random {
+ public:
+  explicit Random(uint32_t s) : seed_(s & 0x7fffffffu) {
+    if (seed_ == 0 || seed_ == 2147483647L) seed_ = 1;
+  }
+
+  uint32_t Next() {
+    static const uint32_t M = 2147483647L;  // 2^31-1
+    static const uint64_t A = 16807;        // bits 14, 8, 7, 5, 2, 1, 0
+    uint64_t product = seed_ * A;
+    seed_ = static_cast<uint32_t>((product >> 31) + (product & M));
+    if (seed_ > M) seed_ -= M;
+    return seed_;
+  }
+
+  // Uniform in [0, n-1]; n > 0.
+  uint32_t Uniform(int n) { return Next() % n; }
+
+  bool OneIn(int n) { return (Next() % n) == 0; }
+
+  // Skewed: pick base in [0, max_log], return uniform in [0, 2^base - 1].
+  // Favors small numbers; useful for value-size variety in tests.
+  uint32_t Skewed(int max_log) { return Uniform(1 << Uniform(max_log + 1)); }
+
+ private:
+  uint32_t seed_;
+};
+
+// xorshift128+ for 64-bit streams (key sampling over large spaces).
+class Random64 {
+ public:
+  explicit Random64(uint64_t seed) {
+    s_[0] = seed ? seed : 0x9e3779b97f4a7c15ull;
+    s_[1] = SplitMix(s_[0]);
+    if (s_[1] == 0) s_[1] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Double in [0,1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace iamdb

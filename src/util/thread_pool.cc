@@ -1,0 +1,59 @@
+#include "util/thread_pool.h"
+
+#include <cassert>
+
+namespace iamdb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  assert(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; i++) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> work) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    assert(!shutting_down_);
+    queue_.push_back(std::move(work));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> l(mu_);
+  idle_cv_.wait(l, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::QueueDepth() {
+  std::lock_guard<std::mutex> l(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (true) {
+    work_cv_.wait(l, [this] { return shutting_down_ || !queue_.empty(); });
+    if (shutting_down_ && queue_.empty()) return;
+    std::function<void()> work = std::move(queue_.front());
+    queue_.pop_front();
+    active_++;
+    l.unlock();
+    work();
+    l.lock();
+    active_--;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace iamdb

@@ -1,0 +1,47 @@
+// Fixed-size worker pool running background flushes and compactions.
+// The paper's IamDB supports parallel background compaction (like RocksDB);
+// the pool size is the "-nt" knob in the evaluation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iamdb {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue work; runs on some worker thread.  Safe from any thread,
+  // including from within a task.
+  void Schedule(std::function<void()> work);
+
+  // Block until the queue is empty and all workers are idle.  New work
+  // scheduled by running tasks is waited for too.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+  size_t QueueDepth();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace iamdb

@@ -1,0 +1,21 @@
+// WAL record framing: 32KB blocks, each record fragment carrying
+//   checksum (4B, crc32c of type+payload, masked) | length (2B) | type (1B)
+// Records never span a block via FIRST/MIDDLE/LAST fragment types, so a
+// reader can resynchronize after a torn write.
+#pragma once
+
+namespace iamdb::log {
+
+enum RecordType {
+  kZeroType = 0,  // preallocated / zeroed region
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+static constexpr int kMaxRecordType = kLastType;
+
+static constexpr int kBlockSize = 32768;
+static constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace iamdb::log

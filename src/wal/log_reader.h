@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "wal/log_format.h"
+
+namespace iamdb::log {
+
+class Reader {
+ public:
+  // Interface for reporting corruption during replay.
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+    virtual void Corruption(size_t bytes, const Status& status) = 0;
+  };
+
+  // If checksum is true, verify every fragment's CRC.  *file must remain
+  // live while this Reader is in use.
+  Reader(SequentialFile* file, Reporter* reporter, bool checksum);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  // Read the next complete record into *record (backed by *scratch when
+  // fragmented).  Returns false at EOF.  A record torn at the log tail is
+  // silently dropped — the standard crash-recovery contract.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  // Internal extended codes for ReadPhysicalRecord.
+  enum { kEof = kMaxRecordType + 1, kBadRecord = kMaxRecordType + 2 };
+
+  unsigned int ReadPhysicalRecord(Slice* result);
+  void ReportCorruption(uint64_t bytes, const char* reason);
+  void ReportDrop(uint64_t bytes, const Status& reason);
+
+  SequentialFile* const file_;
+  Reporter* const reporter_;
+  bool const checksum_;
+  std::string backing_store_;
+  Slice buffer_;
+  bool eof_;
+};
+
+}  // namespace iamdb::log

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "env/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "wal/log_format.h"
+
+namespace iamdb::log {
+
+class Writer {
+ public:
+  // Writer appends to *dest, which must be initially empty or have length
+  // dest_length (to resume an existing log).
+  explicit Writer(WritableFile* dest, uint64_t dest_length = 0);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& slice);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_;  // current offset within the block
+
+  // Pre-computed crc of the type byte, one per record type.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace iamdb::log

@@ -1,0 +1,107 @@
+// Bloom filter tests: no false negatives ever, false-positive rate at the
+// paper's operating point (14 bits/key -> ~0.2%).
+#include <gtest/gtest.h>
+
+#include "table/bloom.h"
+#include "util/coding.h"
+
+namespace iamdb {
+namespace {
+
+std::string Key(int i) {
+  std::string s;
+  PutFixed32(&s, static_cast<uint32_t>(i));
+  return s;
+}
+
+class BloomTest : public testing::Test {
+ protected:
+  void Build(int n, int bits_per_key = 14) {
+    policy_ = std::make_unique<BloomFilterPolicy>(bits_per_key);
+    std::vector<std::string> key_storage;
+    std::vector<Slice> keys;
+    for (int i = 0; i < n; i++) key_storage.push_back(Key(i));
+    for (const auto& k : key_storage) keys.emplace_back(k);
+    filter_.clear();
+    policy_->CreateFilter(keys, &filter_);
+  }
+
+  bool Matches(int i) {
+    std::string k = Key(i);
+    return policy_->KeyMayMatch(k, filter_);
+  }
+
+  double FalsePositiveRate(int n) {
+    int hits = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; i++) {
+      if (Matches(i + 1000000000)) hits++;
+    }
+    (void)n;
+    return hits / static_cast<double>(trials);
+  }
+
+  std::unique_ptr<BloomFilterPolicy> policy_;
+  std::string filter_;
+};
+
+TEST_F(BloomTest, EmptyFilterMatchesNothing) {
+  Build(0);
+  EXPECT_FALSE(Matches(0));
+  EXPECT_FALSE(Matches(123456));
+}
+
+TEST_F(BloomTest, NoFalseNegativesSmall) {
+  Build(100);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(Matches(i)) << "false negative for key " << i;
+  }
+}
+
+TEST_F(BloomTest, NoFalseNegativesAcrossSizes) {
+  for (int n : {1, 10, 100, 1000, 10000, 50000}) {
+    Build(n);
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(Matches(i)) << "n=" << n << " key=" << i;
+    }
+  }
+}
+
+TEST_F(BloomTest, FalsePositiveRateAt14Bits) {
+  Build(10000, 14);
+  double fp = FalsePositiveRate(10000);
+  // Paper: 14 bits/key -> ~0.2%.  Allow generous slack for hash variance.
+  EXPECT_LT(fp, 0.01) << "fp rate " << fp;
+}
+
+TEST_F(BloomTest, FewerBitsMeansMoreFalsePositives) {
+  Build(10000, 4);
+  double fp4 = FalsePositiveRate(10000);
+  Build(10000, 14);
+  double fp14 = FalsePositiveRate(10000);
+  EXPECT_GT(fp4, fp14);
+  EXPECT_LT(fp14, 0.01);
+  EXPECT_GT(fp4, 0.05);  // 4 bits/key is ~15-20%
+}
+
+TEST_F(BloomTest, EmptySliceFilterRejects) {
+  BloomFilterPolicy policy(14);
+  EXPECT_FALSE(policy.KeyMayMatch("anything", Slice()));
+}
+
+TEST_F(BloomTest, VaryingLengthKeys) {
+  BloomFilterPolicy policy(14);
+  std::vector<std::string> storage;
+  for (int len = 0; len < 64; len++) {
+    storage.push_back(std::string(len, 'a' + (len % 26)));
+  }
+  std::vector<Slice> keys(storage.begin(), storage.end());
+  std::string filter;
+  policy.CreateFilter(keys, &filter);
+  for (const auto& k : storage) {
+    EXPECT_TRUE(policy.KeyMayMatch(k, filter));
+  }
+}
+
+}  // namespace
+}  // namespace iamdb

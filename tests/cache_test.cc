@@ -1,0 +1,131 @@
+// LRU block cache tests: hit/miss behaviour, eviction order, capacity
+// changes, and concurrent access safety.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "table/cache.h"
+
+namespace iamdb {
+namespace {
+
+std::shared_ptr<const void> Val(int v) {
+  return std::make_shared<const int>(v);
+}
+
+int Deref(const LruCache::ValuePtr& p) {
+  return *static_cast<const int*>(p.get());
+}
+
+TEST(CacheTest, InsertLookup) {
+  LruCache cache(1 << 20);
+  cache.Insert("a", Val(1), 100);
+  auto v = cache.Lookup("a");
+  ASSERT_NE(nullptr, v);
+  EXPECT_EQ(1, Deref(v));
+  EXPECT_EQ(nullptr, cache.Lookup("missing"));
+}
+
+TEST(CacheTest, InsertReplaces) {
+  LruCache cache(1 << 20);
+  cache.Insert("a", Val(1), 100);
+  cache.Insert("a", Val(2), 100);
+  EXPECT_EQ(2, Deref(cache.Lookup("a")));
+  EXPECT_EQ(100u, cache.usage());
+}
+
+TEST(CacheTest, EraseRemoves) {
+  LruCache cache(1 << 20);
+  cache.Insert("a", Val(1), 100);
+  cache.Erase("a");
+  EXPECT_EQ(nullptr, cache.Lookup("a"));
+  EXPECT_EQ(0u, cache.usage());
+  cache.Erase("a");  // double erase is a no-op
+}
+
+TEST(CacheTest, EvictionRespectsCapacity) {
+  // Single-shard behaviour via keys that hash anywhere; capacity small.
+  LruCache cache(16 * 100);  // 100 bytes per shard
+  for (int i = 0; i < 1000; i++) {
+    cache.Insert("key" + std::to_string(i), Val(i), 50);
+  }
+  EXPECT_LE(cache.usage(), 16u * 100u);
+}
+
+TEST(CacheTest, LruOrderWithinShard) {
+  // All keys in one shard would need hash control; instead verify the
+  // aggregate property: recently-used entries survive a pass of inserts.
+  LruCache cache(16 * 150);
+  cache.Insert("hot", Val(42), 50);
+  for (int round = 0; round < 100; round++) {
+    ASSERT_NE(nullptr, cache.Lookup("hot")) << "evicted at round " << round;
+    cache.Insert("cold" + std::to_string(round), Val(round), 50);
+    cache.Lookup("hot");  // keep promoting
+  }
+}
+
+TEST(CacheTest, ValueLifetimeOutlivesEviction) {
+  LruCache cache(16 * 60);
+  auto pinned = Val(7);
+  cache.Insert("a", pinned, 50);
+  // Force eviction of "a".
+  for (int i = 0; i < 200; i++) {
+    cache.Insert("b" + std::to_string(i), Val(i), 50);
+  }
+  // The shared_ptr we kept is still valid.
+  EXPECT_EQ(7, *static_cast<const int*>(pinned.get()));
+}
+
+TEST(CacheTest, HitMissCounters) {
+  LruCache cache(1 << 20);
+  cache.Insert("a", Val(1), 10);
+  cache.Lookup("a");
+  cache.Lookup("a");
+  cache.Lookup("nope");
+  EXPECT_EQ(2u, cache.hits());
+  EXPECT_EQ(1u, cache.misses());
+}
+
+TEST(CacheTest, SetCapacityShrinksUsage) {
+  LruCache cache(1 << 20);
+  for (int i = 0; i < 100; i++) {
+    cache.Insert("k" + std::to_string(i), Val(i), 1000);
+  }
+  size_t before = cache.usage();
+  EXPECT_GT(before, 50000u);
+  cache.SetCapacity(16 * 1000);
+  EXPECT_LE(cache.usage(), 16u * 1000u);
+}
+
+TEST(CacheTest, ZeroCapacityHoldsNothing) {
+  LruCache cache(0);
+  cache.Insert("a", Val(1), 10);
+  EXPECT_EQ(nullptr, cache.Lookup("a"));
+}
+
+TEST(CacheTest, ConcurrentMixedOperations) {
+  LruCache cache(1 << 16);
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 8; t++) {
+    threads.emplace_back([&cache, &failed, t] {
+      for (int i = 0; i < 5000; i++) {
+        std::string key = "k" + std::to_string((t * 31 + i) % 500);
+        if (i % 3 == 0) {
+          cache.Insert(key, Val(i), 64);
+        } else if (i % 7 == 0) {
+          cache.Erase(key);
+        } else {
+          auto v = cache.Lookup(key);
+          if (v != nullptr && Deref(v) < 0) failed = true;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed);
+  EXPECT_LE(cache.usage(), static_cast<size_t>(1 << 16));
+}
+
+}  // namespace
+}  // namespace iamdb

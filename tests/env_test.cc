@@ -1,0 +1,308 @@
+// Tests for the Env abstraction: MemEnv semantics, PosixEnv round trips,
+// CountingEnv instrumentation and the device model arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "env/counting_env.h"
+#include "env/env.h"
+#include "env/mem_env.h"
+#include "stats/amp_stats.h"
+#include "stats/device_model.h"
+#include "stats/io_stats.h"
+
+namespace iamdb {
+namespace {
+
+class MemEnvTest : public testing::Test {
+ protected:
+  MemEnv env_;
+};
+
+TEST_F(MemEnvTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(WriteStringToFile(&env_, "hello world", "/dir/f", false).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/dir/f", &contents).ok());
+  EXPECT_EQ("hello world", contents);
+}
+
+TEST_F(MemEnvTest, MissingFileErrors) {
+  std::unique_ptr<SequentialFile> seq;
+  EXPECT_TRUE(env_.NewSequentialFile("/nope", &seq).IsNotFound());
+  std::unique_ptr<RandomAccessFile> ra;
+  EXPECT_TRUE(env_.NewRandomAccessFile("/nope", &ra).IsNotFound());
+  EXPECT_FALSE(env_.FileExists("/nope"));
+  uint64_t size;
+  EXPECT_FALSE(env_.GetFileSize("/nope", &size).ok());
+  EXPECT_FALSE(env_.RemoveFile("/nope").ok());
+}
+
+TEST_F(MemEnvTest, AppendableFileGrows) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_.NewAppendableFile("/f", &f).ok());
+  ASSERT_TRUE(f->Append("abc").ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(env_.NewAppendableFile("/f", &f).ok());
+  ASSERT_TRUE(f->Append("def").ok());
+  ASSERT_TRUE(f->Close().ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &contents).ok());
+  EXPECT_EQ("abcdef", contents);
+}
+
+TEST_F(MemEnvTest, WritableFileTruncatesExisting) {
+  ASSERT_TRUE(WriteStringToFile(&env_, "long old contents", "/f", false).ok());
+  ASSERT_TRUE(WriteStringToFile(&env_, "new", "/f", false).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &contents).ok());
+  EXPECT_EQ("new", contents);
+}
+
+TEST_F(MemEnvTest, RandomAccessReads) {
+  ASSERT_TRUE(WriteStringToFile(&env_, "0123456789", "/f", false).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/f", &f).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(f->Read(3, 4, &result, scratch).ok());
+  EXPECT_EQ("3456", result.ToString());
+  // Past-EOF reads return short/empty results, not errors.
+  ASSERT_TRUE(f->Read(8, 10, &result, scratch).ok());
+  EXPECT_EQ("89", result.ToString());
+  ASSERT_TRUE(f->Read(20, 4, &result, scratch).ok());
+  EXPECT_TRUE(result.empty());
+}
+
+TEST_F(MemEnvTest, GetChildrenListsOnlyDirectEntries) {
+  ASSERT_TRUE(WriteStringToFile(&env_, "x", "/db/a", false).ok());
+  ASSERT_TRUE(WriteStringToFile(&env_, "x", "/db/b", false).ok());
+  ASSERT_TRUE(WriteStringToFile(&env_, "x", "/db/sub/c", false).ok());
+  ASSERT_TRUE(WriteStringToFile(&env_, "x", "/other/d", false).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_.GetChildren("/db", &children).ok());
+  EXPECT_EQ(2u, children.size());
+}
+
+TEST_F(MemEnvTest, RenameReplacesTarget) {
+  ASSERT_TRUE(WriteStringToFile(&env_, "src", "/a", false).ok());
+  ASSERT_TRUE(WriteStringToFile(&env_, "dst", "/b", false).ok());
+  ASSERT_TRUE(env_.RenameFile("/a", "/b").ok());
+  EXPECT_FALSE(env_.FileExists("/a"));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/b", &contents).ok());
+  EXPECT_EQ("src", contents);
+}
+
+TEST_F(MemEnvTest, TotalBytesTracksContents) {
+  EXPECT_EQ(0u, env_.TotalBytes());
+  ASSERT_TRUE(WriteStringToFile(&env_, std::string(100, 'x'), "/a", false).ok());
+  ASSERT_TRUE(WriteStringToFile(&env_, std::string(50, 'y'), "/b", false).ok());
+  EXPECT_EQ(150u, env_.TotalBytes());
+  ASSERT_TRUE(env_.RemoveFile("/a").ok());
+  EXPECT_EQ(50u, env_.TotalBytes());
+}
+
+TEST_F(MemEnvTest, TruncateShortensFile) {
+  ASSERT_TRUE(WriteStringToFile(&env_, "0123456789", "/f", false).ok());
+  ASSERT_TRUE(env_.Truncate("/f", 4).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &contents).ok());
+  EXPECT_EQ("0123", contents);
+  // Truncating beyond size is a no-op.
+  ASSERT_TRUE(env_.Truncate("/f", 100).ok());
+  ASSERT_TRUE(ReadFileToString(&env_, "/f", &contents).ok());
+  EXPECT_EQ("0123", contents);
+}
+
+class PosixEnvTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("iamdb_env_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    env_ = Env::Default();
+    ASSERT_TRUE(env_->CreateDir(dir_.string()).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+  Env* env_;
+};
+
+TEST_F(PosixEnvTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(WriteStringToFile(env_, "posix data", Path("f"), true).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_, Path("f"), &contents).ok());
+  EXPECT_EQ("posix data", contents);
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize(Path("f"), &size).ok());
+  EXPECT_EQ(10u, size);
+}
+
+TEST_F(PosixEnvTest, AppendableAndRandomAccess) {
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env_->NewAppendableFile(Path("f"), &w).ok());
+  ASSERT_TRUE(w->Append("hello ").ok());
+  ASSERT_TRUE(w->Close().ok());
+  ASSERT_TRUE(env_->NewAppendableFile(Path("f"), &w).ok());
+  ASSERT_TRUE(w->Append("world").ok());
+  ASSERT_TRUE(w->Sync().ok());
+  ASSERT_TRUE(w->Close().ok());
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env_->NewRandomAccessFile(Path("f"), &r).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(r->Read(6, 5, &result, scratch).ok());
+  EXPECT_EQ("world", result.ToString());
+}
+
+TEST_F(PosixEnvTest, GetChildrenAndRemove) {
+  ASSERT_TRUE(WriteStringToFile(env_, "1", Path("a"), false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "2", Path("b"), false).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_.string(), &children).ok());
+  EXPECT_EQ(2u, children.size());
+  ASSERT_TRUE(env_->RemoveFile(Path("a")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("a")));
+}
+
+TEST_F(PosixEnvTest, NowMicrosMonotonic) {
+  uint64_t t1 = env_->NowMicros();
+  env_->SleepForMicroseconds(1000);
+  uint64_t t2 = env_->NowMicros();
+  EXPECT_GE(t2, t1 + 500);
+}
+
+TEST(CountingEnvTest, CountsReadsWritesSyncs) {
+  MemEnv base;
+  IoStats stats;
+  CountingEnv env(&base, &stats);
+
+  ASSERT_TRUE(WriteStringToFile(&env, std::string(1000, 'x'), "/f", true).ok());
+  IoStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(1000u, snap.bytes_written);
+  EXPECT_EQ(1u, snap.write_ops);
+  EXPECT_EQ(1u, snap.fsyncs);
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &r).ok());
+  char scratch[128];
+  Slice result;
+  ASSERT_TRUE(r->Read(0, 100, &result, scratch).ok());
+  ASSERT_TRUE(r->Read(500, 100, &result, scratch).ok());
+  snap = stats.Snapshot();
+  EXPECT_EQ(200u, snap.bytes_read);
+  EXPECT_EQ(2u, snap.read_ops);
+}
+
+TEST(CountingEnvTest, OpIoScopeCapturesPerOperationIo) {
+  MemEnv base;
+  IoStats stats;
+  CountingEnv env(&base, &stats);
+  ASSERT_TRUE(WriteStringToFile(&env, std::string(4096, 'x'), "/f", false).ok());
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &r).ok());
+  char scratch[4096];
+  Slice result;
+  {
+    OpIoScope scope;
+    ASSERT_TRUE(r->Read(0, 1024, &result, scratch).ok());
+    ASSERT_TRUE(r->Read(2048, 512, &result, scratch).ok());
+    EXPECT_EQ(2u, scope.context().seeks);
+    EXPECT_EQ(1536u, scope.context().bytes_read);
+  }
+  // Outside any scope, recording is a no-op (must not crash).
+  ASSERT_TRUE(r->Read(0, 16, &result, scratch).ok());
+}
+
+TEST(CountingEnvTest, NestedScopesAreIndependent) {
+  MemEnv base;
+  IoStats stats;
+  CountingEnv env(&base, &stats);
+  ASSERT_TRUE(WriteStringToFile(&env, std::string(100, 'x'), "/f", false).ok());
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &r).ok());
+  char scratch[100];
+  Slice result;
+
+  OpIoScope outer;
+  ASSERT_TRUE(r->Read(0, 10, &result, scratch).ok());
+  {
+    OpIoScope inner;
+    ASSERT_TRUE(r->Read(0, 20, &result, scratch).ok());
+    EXPECT_EQ(1u, inner.context().seeks);
+    EXPECT_EQ(20u, inner.context().bytes_read);
+  }
+  // Inner scope's IO is not double counted into outer.
+  EXPECT_EQ(1u, outer.context().seeks);
+  EXPECT_EQ(10u, outer.context().bytes_read);
+}
+
+TEST(DeviceModelTest, HddSeeksDominate) {
+  DeviceModel hdd(DeviceProfile::HDD());
+  // 100 seeks of 4KB each: seek cost should dwarf transfer cost.
+  double micros = hdd.ReadMicros(100, 100 * 4096);
+  EXPECT_GT(micros, 100 * 8000.0 * 0.99);
+  EXPECT_LT(micros, 100 * 8000.0 * 1.1);
+}
+
+TEST(DeviceModelTest, SsdBandwidthDominatesForBulk) {
+  DeviceModel ssd(DeviceProfile::SSD());
+  // 1 seek + 100MB: transfer cost dominates.
+  double micros = ssd.ReadMicros(1, 100 << 20);
+  double transfer = (100 << 20) / 500.0;
+  EXPECT_NEAR(transfer, micros, transfer * 0.01);
+}
+
+TEST(DeviceModelTest, TotalMicrosCombinesReadAndWrite) {
+  DeviceModel hdd(DeviceProfile::HDD());
+  IoStatsSnapshot delta;
+  delta.read_ops = 10;
+  delta.bytes_read = 10 * 4096;
+  delta.write_ops = 64;
+  delta.bytes_written = 1 << 20;
+  double total = hdd.TotalMicros(delta);
+  EXPECT_GT(total, hdd.ReadMicros(10, 10 * 4096));
+  EXPECT_GT(total, hdd.WriteMicros(64, 1 << 20));
+}
+
+TEST(AmpStatsTest, PerLevelAccounting) {
+  AmpStats amp;
+  amp.RecordUserWrite(1000);
+  amp.RecordLevelWrite(1, WriteReason::kFlush, 1000);
+  amp.RecordLevelWrite(2, WriteReason::kMerge, 3000);
+  amp.RecordWal(1000);
+
+  EXPECT_DOUBLE_EQ(1.0, amp.LevelWriteAmp(1));
+  EXPECT_DOUBLE_EQ(3.0, amp.LevelWriteAmp(2));
+  // WAL excluded from the per-level totals (paper Sec 6.2).
+  EXPECT_DOUBLE_EQ(4.0, amp.TotalWriteAmp());
+  EXPECT_EQ(2, amp.MaxRecordedLevel());
+  EXPECT_EQ(1000u, amp.reason_bytes(WriteReason::kWal));
+}
+
+TEST(AmpStatsTest, ResetClearsEverything) {
+  AmpStats amp;
+  amp.RecordUserWrite(10);
+  amp.RecordLevelWrite(3, WriteReason::kAppend, 100);
+  amp.Reset();
+  EXPECT_EQ(0u, amp.user_bytes());
+  EXPECT_DOUBLE_EQ(0.0, amp.TotalWriteAmp());
+}
+
+TEST(AmpStatsTest, LevelClamping) {
+  AmpStats amp;
+  amp.RecordUserWrite(1);
+  amp.RecordLevelWrite(-5, WriteReason::kFlush, 10);
+  amp.RecordLevelWrite(99, WriteReason::kFlush, 20);
+  EXPECT_EQ(10u, amp.level_bytes(0));
+  EXPECT_EQ(20u, amp.level_bytes(AmpStats::kMaxLevels - 1));
+}
+
+}  // namespace
+}  // namespace iamdb

@@ -1,0 +1,107 @@
+// ThrottledEnv: wall time must track modeled device time at the configured
+// scale, the shared single-server queue must serialize concurrent I/O, and
+// a throttled DB must behave identically (just slower).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/db.h"
+#include "env/mem_env.h"
+#include "env/throttled_env.h"
+
+namespace iamdb {
+namespace {
+
+TEST(ThrottledEnvTest, ChargesTrackModeledCosts) {
+  MemEnv mem;
+  DeviceProfile profile = DeviceProfile::HDD();
+  ThrottledEnv env(&mem, profile, /*time_scale=*/1e-6);  // effectively free
+
+  ASSERT_TRUE(
+      WriteStringToFile(&env, std::string(1 << 20, 'x'), "/f", false).ok());
+  // One 1MB write: bandwidth cost ~6.7ms at 150MB/s (plus dispatch share).
+  uint64_t after_write = env.charged_micros();
+  EXPECT_GE(after_write, 6000u);
+  EXPECT_LE(after_write, 10000u);
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &file).ok());
+  char scratch[4096];
+  Slice result;
+  ASSERT_TRUE(file->Read(0, 4096, &result, scratch).ok());
+  // One positional read: ~ one 8ms seek.
+  EXPECT_GE(env.charged_micros() - after_write, 8000u);
+}
+
+TEST(ThrottledEnvTest, WallTimeScalesWithCharges) {
+  MemEnv mem;
+  // 10ms of modeled time per positional read at scale 0.05 -> 400us each.
+  ThrottledEnv env(&mem, DeviceProfile::HDD(), 0.05);
+  ASSERT_TRUE(
+      WriteStringToFile(&env, std::string(64 << 10, 'x'), "/f", false).ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &file).ok());
+
+  uint64_t t0 = Env::Default()->NowMicros();
+  char scratch[4096];
+  Slice result;
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(file->Read((i * 4096) % (60 << 10), 4096, &result, scratch).ok());
+  }
+  uint64_t wall = Env::Default()->NowMicros() - t0;
+  // 20 seeks x 8ms x 0.05 = 8ms minimum.
+  EXPECT_GE(wall, 7000u);
+}
+
+TEST(ThrottledEnvTest, SingleServerSerializesThreads) {
+  MemEnv mem;
+  ThrottledEnv env(&mem, DeviceProfile::HDD(), 0.05);
+  ASSERT_TRUE(
+      WriteStringToFile(&env, std::string(64 << 10, 'x'), "/f", false).ok());
+
+  // Two threads x 10 seeks each: a shared device takes ~2x one thread's
+  // time, not ~1x (which independent sleeping would give).
+  auto reader_work = [&env] {
+    std::unique_ptr<RandomAccessFile> file;
+    ASSERT_TRUE(env.NewRandomAccessFile("/f", &file).ok());
+    char scratch[4096];
+    Slice result;
+    for (int i = 0; i < 10; i++) {
+      ASSERT_TRUE(file->Read(i * 4096, 4096, &result, scratch).ok());
+    }
+  };
+  uint64_t t0 = Env::Default()->NowMicros();
+  std::thread a(reader_work), b(reader_work);
+  a.join();
+  b.join();
+  uint64_t wall = Env::Default()->NowMicros() - t0;
+  // 20 seeks x 8ms x 0.05 = 8ms serialized; independent threads would
+  // finish in ~4ms.
+  EXPECT_GE(wall, 7000u);
+}
+
+TEST(ThrottledEnvTest, DbWorksEndToEndWhenThrottled) {
+  MemEnv mem;
+  ThrottledEnv device(&mem, DeviceProfile::SSD(), 0.01);
+  Options options;
+  options.env = &device;
+  options.engine = EngineType::kAmt;
+  options.node_capacity = 16 << 10;
+  options.table.block_size = 1024;
+  options.amt.fanout = 4;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  for (int i = 0; i < 2000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i * 37 % 2000);
+    ASSERT_TRUE(db->Put(WriteOptions(), key, std::string(100, 'v')).ok());
+  }
+  ASSERT_TRUE(db->WaitForQuiescence().ok());
+  ASSERT_TRUE(db->CheckInvariants(true).ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "key000370", &value).ok());
+  EXPECT_GT(device.charged_micros(), 0u);
+}
+
+}  // namespace
+}  // namespace iamdb

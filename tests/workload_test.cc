@@ -1,0 +1,172 @@
+// Tests for the benchmark substrate: YCSB distribution generators, key
+// formatting, and the harness's workload mixes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/generators.h"
+#include "workload/harness.h"
+
+namespace iamdb::bench {
+namespace {
+
+TEST(ZipfianTest, RespectsDomain) {
+  ZipfianGenerator gen(1000);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(ZipfianTest, IsActuallySkewed) {
+  ZipfianGenerator gen(10000);
+  std::map<uint64_t, int> counts;
+  const int N = 100000;
+  for (int i = 0; i < N; i++) counts[gen.Next()]++;
+  // Rank 0 should take a large share (theta=0.99 -> ~10%), and the top 10
+  // ranks should dominate.
+  EXPECT_GT(counts[0], N / 20);
+  int top10 = 0;
+  for (uint64_t r = 0; r < 10; r++) top10 += counts[r];
+  EXPECT_GT(top10, N / 4);
+}
+
+TEST(ZipfianTest, GrowingDomainStillValid) {
+  ZipfianGenerator gen(100);
+  gen.SetN(1000);
+  gen.SetN(5000);
+  bool saw_beyond_initial = false;
+  for (int i = 0; i < 50000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 5000u);
+    if (v >= 100) saw_beyond_initial = true;
+  }
+  EXPECT_TRUE(saw_beyond_initial);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeysAcrossSpace) {
+  ScrambledZipfianGenerator gen(100000);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) counts[gen.Next()]++;
+  // Find the hottest items; they must NOT be clustered at the low end.
+  uint64_t hottest = 0;
+  int hottest_count = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > hottest_count) {
+      hottest = k;
+      hottest_count = c;
+    }
+  }
+  EXPECT_GT(hottest_count, 1000);  // skew preserved
+  EXPECT_GT(hottest, 100u);        // but location scrambled (probabilistic)
+}
+
+TEST(LatestTest, FavorsRecentInsertions) {
+  LatestGenerator gen(10000);
+  int recent = 0;
+  const int N = 20000;
+  for (int i = 0; i < N; i++) {
+    if (gen.Next() >= 9000) recent++;  // top 10% of the key space
+  }
+  // "Latest" concentrates mass near n-1.
+  EXPECT_GT(recent, N / 2);
+}
+
+TEST(LatestTest, TracksGrowth) {
+  LatestGenerator gen(100);
+  gen.SetN(10000);
+  bool saw_new = false;
+  for (int i = 0; i < 10000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 10000u);
+    if (v > 5000) saw_new = true;
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(KeyFormatTest, HashedKeysAreUnordered) {
+  // Consecutive indices must map to non-consecutive keys (hash load).
+  int ordered_pairs = 0;
+  for (uint64_t i = 0; i + 1 < 1000; i++) {
+    if (HashedKey(i) < HashedKey(i + 1)) ordered_pairs++;
+  }
+  EXPECT_GT(ordered_pairs, 300);
+  EXPECT_LT(ordered_pairs, 700);  // ~50/50 if well scrambled
+}
+
+TEST(KeyFormatTest, OrderedKeysAreOrdered) {
+  for (uint64_t i = 0; i + 1 < 1000; i++) {
+    ASSERT_LT(OrderedKey(i), OrderedKey(i + 1));
+  }
+}
+
+TEST(KeyFormatTest, KeysAreUniqueAndStable) {
+  std::set<std::string> seen;
+  for (uint64_t i = 0; i < 10000; i++) {
+    ASSERT_TRUE(seen.insert(HashedKey(i)).second) << i;
+  }
+  EXPECT_EQ(HashedKey(42), HashedKey(42));
+}
+
+TEST(MakeValueTest, SizedAndDeterministic) {
+  EXPECT_EQ(1024u, MakeValue(7, 1024).size());
+  EXPECT_EQ(MakeValue(7, 100), MakeValue(7, 100));
+  EXPECT_NE(MakeValue(7, 100), MakeValue(8, 100));
+  EXPECT_EQ(0u, MakeValue(1, 0).size());
+}
+
+TEST(WorkloadSpecTest, MixesSumToOne) {
+  for (char w : std::string("ABCDEFG")) {
+    WorkloadSpec spec = WorkloadSpec::Ycsb(w);
+    double total =
+        spec.read + spec.update + spec.insert + spec.scan + spec.rmw;
+    EXPECT_NEAR(1.0, total, 1e-9) << w;
+  }
+}
+
+TEST(WorkloadSpecTest, PaperShapes) {
+  EXPECT_DOUBLE_EQ(0.5, WorkloadSpec::Ycsb('A').update);
+  EXPECT_DOUBLE_EQ(1.0, WorkloadSpec::Ycsb('C').read);
+  EXPECT_EQ(WorkloadSpec::Dist::kLatest, WorkloadSpec::Ycsb('D').dist);
+  EXPECT_EQ(100, WorkloadSpec::Ycsb('E').max_scan_len);
+  EXPECT_EQ(10000, WorkloadSpec::Ycsb('G').max_scan_len);
+  EXPECT_DOUBLE_EQ(0.5, WorkloadSpec::Ycsb('F').rmw);
+}
+
+TEST(HarnessTest, SmokeLoadAndWorkload) {
+  ScaleConfig config = ScaleConfig::Smoke();
+  BenchDb bench(SystemId::kI1, config);
+  RunResult load = Load(&bench, config.num_records, /*ordered=*/false);
+  EXPECT_EQ(config.num_records, load.ops);
+  EXPECT_GT(load.ssd_seconds, 0);
+  EXPECT_GT(load.hdd_seconds, load.ssd_seconds);  // HDD always slower
+
+  RunResult run = RunWorkload(&bench, WorkloadSpec::Ycsb('A'), 500, 1);
+  EXPECT_EQ(500u, run.ops);
+  EXPECT_GT(run.Throughput("SSD"), run.Throughput("HDD"));
+  EXPECT_GT(run.ssd_latency_us.Count(), 0u);
+}
+
+TEST(HarnessTest, AllSystemsOpenAndLoad) {
+  for (SystemId id : {SystemId::kL, SystemId::kR1, SystemId::kR4,
+                      SystemId::kA1, SystemId::kA4, SystemId::kI1,
+                      SystemId::kI4}) {
+    ScaleConfig config = ScaleConfig::Smoke();
+    BenchDb bench(id, config);
+    RunResult r = Load(&bench, 2000, /*ordered=*/false);
+    EXPECT_EQ(2000u, r.ops) << SystemName(id);
+    EXPECT_GE(r.stats_after.total_write_amp, 0.9) << SystemName(id);
+  }
+}
+
+TEST(HarnessTest, PacedLoadBoundsDebt) {
+  ScaleConfig config = ScaleConfig::Smoke();
+  BenchDb bench(SystemId::kL, config);
+  Load(&bench, config.num_records, /*ordered=*/false,
+       SettleMode::kNoSettle, /*pace_debt_bytes=*/256 << 10);
+  // The bound is approximate (checked every 32 ops), allow 4x slack.
+  EXPECT_LT(bench.db()->GetStats().pending_debt_bytes, 1u << 20);
+}
+
+}  // namespace
+}  // namespace iamdb::bench
