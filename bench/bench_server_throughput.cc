@@ -1,0 +1,165 @@
+// Loopback throughput/latency for the network serving layer: PUT and GET
+// ops/sec + p50/p99 at 1, 4 and 16 client connections against an
+// in-process iamdb Server.  Unlike the paper benches (modeled device
+// time), this measures real wall-clock through the full wire path:
+// encode -> TCP -> decode -> dispatch -> DB -> respond.
+//
+// One JSON line per (op, connections) cell, e.g.:
+//   {"bench":"server_throughput","op":"put","connections":4,"ops":40000,
+//    "ops_per_sec":123456.7,"p50_us":30.1,"p99_us":210.9}
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/db.h"
+#include "env/mem_env.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "workload/harness.h"
+
+using namespace iamdb;
+
+namespace {
+
+constexpr int kValueSize = 100;
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct CellResult {
+  uint64_t ops = 0;
+  double ops_per_sec = 0;
+  Histogram latency_us;
+};
+
+// Runs `ops_per_conn` ops on each of `connections` client threads.
+CellResult RunCell(int port, int connections, uint64_t ops_per_conn,
+                   uint64_t key_space, bool do_put) {
+  std::vector<Histogram> histograms(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const double start = NowMicros();
+  for (int c = 0; c < connections; c++) {
+    threads.emplace_back([&, c] {
+      ClientOptions options;
+      options.port = port;
+      Client client(options);
+      Random64 rnd(1000 + c);
+      const std::string value(kValueSize, 'v');
+      for (uint64_t i = 0; i < ops_per_conn; i++) {
+        const std::string key = Key(rnd.Uniform(key_space));
+        const double op_start = NowMicros();
+        Status s;
+        if (do_put) {
+          s = client.Put(key, value);
+        } else {
+          std::string out;
+          s = client.Get(key, &out);
+          if (s.IsNotFound()) s = Status::OK();  // sparse preload is fine
+        }
+        if (!s.ok()) {
+          std::fprintf(stderr, "op failed: %s\n", s.ToString().c_str());
+          return;
+        }
+        histograms[c].Add(NowMicros() - op_start);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_us = NowMicros() - start;
+
+  CellResult result;
+  for (const Histogram& h : histograms) result.latency_us.Merge(h);
+  result.ops = result.latency_us.Count();
+  result.ops_per_sec = result.ops / (elapsed_us / 1e6);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv, 1.0);
+  const uint64_t ops_per_cell = bench::Scaled(40000, scale);
+  const uint64_t key_space = bench::Scaled(100000, scale);
+
+  MemEnv env;
+  Options db_options;
+  db_options.env = &env;
+  db_options.background_threads = 2;
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(db_options, "/bench-server", &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.num_workers = 8;
+  Server server(db.get(), server_options);
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== server loopback throughput (real time, %llu ops/cell) ===\n",
+              static_cast<unsigned long long>(ops_per_cell));
+  const std::vector<int> connection_counts = {1, 4, 16};
+
+  // Preload so GETs mostly hit; also warms the wire path.
+  {
+    ClientOptions options;
+    options.port = server.port();
+    Client client(options);
+    const std::string value(kValueSize, 'v');
+    for (uint64_t i = 0; i < key_space; i++) {
+      if (!client.Put(Key(i), value).ok()) {
+        std::fprintf(stderr, "preload failed\n");
+        return 1;
+      }
+    }
+    db->WaitForQuiescence();
+  }
+
+  std::printf("%-5s %12s %12s %10s %10s\n", "op", "connections", "ops/sec",
+              "p50(us)", "p99(us)");
+  for (const char* op : {"put", "get"}) {
+    const bool do_put = std::string(op) == "put";
+    for (int connections : connection_counts) {
+      const uint64_t per_conn =
+          std::max<uint64_t>(1, ops_per_cell / connections);
+      CellResult r =
+          RunCell(server.port(), connections, per_conn, key_space, do_put);
+      std::printf("%-5s %12d %12.0f %10.1f %10.1f\n", op, connections,
+                  r.ops_per_sec, r.latency_us.Percentile(50),
+                  r.latency_us.Percentile(99));
+      std::printf(
+          "{\"bench\":\"server_throughput\",\"op\":\"%s\","
+          "\"connections\":%d,\"ops\":%llu,\"ops_per_sec\":%.1f,"
+          "\"p50_us\":%.1f,\"p99_us\":%.1f}\n",
+          op, connections, static_cast<unsigned long long>(r.ops),
+          r.ops_per_sec, r.latency_us.Percentile(50),
+          r.latency_us.Percentile(99));
+      if (do_put) db->WaitForQuiescence();
+    }
+  }
+
+  server.Stop();
+  return 0;
+}

@@ -571,7 +571,12 @@ void DBImpl::MaybeScheduleBackgroundWork() {
          !shutting_down_.load(std::memory_order_acquire) && bg_error_.ok() &&
          (imm_ != nullptr || engine_->NeedsCompaction())) {
     bg_scheduled_++;
-    pool_->Schedule([this] { BackgroundCall(); });
+    if (!pool_->Schedule([this] { BackgroundCall(); })) {
+      // Pool already shutting down (DB teardown): drop the slot; the
+      // destructor drains outstanding work itself.
+      bg_scheduled_--;
+      break;
+    }
     // One scheduling pass per pending work "slot": if there is both an imm
     // and compactions, multiple workers may be useful; the loop condition
     // re-checks but we must not spin forever — break after filling slots.

@@ -1,0 +1,88 @@
+// Blocking client for the iamdb wire protocol.  Mirrors the DB API:
+// Put/Get/Delete/Write/Scan plus the server-only Info and Ping calls.
+//
+// Threading: a Client owns one TCP connection and serializes its calls
+// internally, so it is safe to share across threads but calls do not
+// pipeline — for concurrency open one Client per thread (the server
+// multiplexes connections onto its worker pool).
+//
+// Failure handling: Connect() retries with backoff per ClientOptions.  A
+// call that hits a broken connection marks the client disconnected and —
+// for idempotent operations (GET/SCAN/INFO/PING) — reconnects and retries
+// once.  Mutations are never auto-retried: the original may have applied.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "server/wire_protocol.h"
+#include "util/status.h"
+
+namespace iamdb {
+
+class WriteBatch;
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 4490;
+  // Per-attempt connect timeout and retry schedule.
+  int connect_timeout_ms = 2000;
+  int connect_retries = 3;
+  int retry_backoff_ms = 100;  // doubled per retry
+  // Send/receive timeout per operation; 0 = block forever.
+  int op_timeout_ms = 30000;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Establishes the connection (also done lazily by the first call).
+  Status Connect();
+  void Close();
+  bool connected() const;
+
+  Status Ping();
+  Status Put(const Slice& key, const Slice& value);
+  Status Get(const Slice& key, std::string* value);
+  Status Delete(const Slice& key);
+  // Atomic batch; the batch's contents travel in the WAL wire format.
+  Status Write(const WriteBatch& batch);
+  // Forward scan of [start_key, end_key) capped at `limit` entries
+  // (0 = server default).  *truncated (optional) reports whether the
+  // server stopped early with more data remaining.
+  Status Scan(const Slice& start_key, const Slice& end_key, uint32_t limit,
+              std::vector<wire::KeyValue>* entries,
+              bool* truncated = nullptr);
+  // Remote DbStats snapshot (INFO with empty property).
+  Status GetStats(DbStats* stats);
+  // Remote GetProperty; also accepts the server-side "server.stats" key.
+  Status GetProperty(const Slice& property, std::string* value);
+
+ private:
+  // Sends one request and blocks for its response; handles lazy connect
+  // and the single idempotent retry.  *response_payload excludes the
+  // leading status (already decoded into the returned Status).
+  Status Call(wire::Opcode opcode, const Slice& payload, bool idempotent,
+              std::string* response_payload);
+  Status CallOnce(wire::Opcode opcode, const Slice& payload,
+                  std::string* response_payload);
+  Status ConnectLocked();
+  void CloseLocked();
+  Status ReadFrame(std::string* body);
+
+  const ClientOptions options_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string recv_buffer_;
+};
+
+}  // namespace iamdb

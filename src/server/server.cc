@@ -1,0 +1,490 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+
+#include "memtable/write_batch.h"
+#include "util/coding.h"
+
+namespace iamdb {
+
+namespace {
+
+// send() the whole buffer; MSG_NOSIGNAL so a dead peer yields EPIPE
+// instead of killing the process.
+bool SendAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+// Counts records while Iterate() checks structural integrity.
+class CountingHandler : public WriteBatch::Handler {
+ public:
+  void Put(const Slice&, const Slice&) override { count++; }
+  void Delete(const Slice&) override { count++; }
+  int count = 0;
+};
+
+}  // namespace
+
+// One accepted socket.  The reader thread owns `fd`'s read side; response
+// writers serialize on write_mu.  `outstanding` counts requests dispatched
+// to the pool whose responses have not been written yet — the reader stops
+// decoding at max_pipeline and the drain path waits for it to hit zero.
+struct Server::Connection {
+  int fd = -1;
+  std::thread reader;
+  std::mutex write_mu;
+  std::mutex pipeline_mu;
+  std::condition_variable pipeline_cv;
+  int outstanding = 0;         // pipeline_mu
+  bool write_failed = false;   // write_mu
+  std::atomic<bool> done{false};
+};
+
+Server::Server(DB* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load() || stopping_.load()) {
+    return Status::NotSupported("server is not restartable");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket", std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad host address", options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IOError("bind", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    Status s = Status::IOError("listen", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(std::max(1, options_.num_workers));
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Someone else is (or finished) stopping; wait for the acceptor to be
+    // joined by them — nothing more to do for idempotent callers.
+    return;
+  }
+  if (!running_.load(std::memory_order_acquire)) return;
+
+  if (acceptor_.joinable()) acceptor_.join();  // poll loop sees stopping_
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Half-close every connection: readers see EOF, stop decoding new
+  // requests, and drain their in-flight responses.  The fd is closed only
+  // after the reader is joined (never by the reader itself) so a shutdown()
+  // here cannot race a close() and hit a recycled descriptor.
+  {
+    std::lock_guard<std::mutex> l(conn_mu_);
+    for (auto& conn : connections_) ::shutdown(conn->fd, SHUT_RD);
+    for (auto& conn : connections_) {
+      if (conn->reader.joinable()) conn->reader.join();
+      ::close(conn->fd);
+    }
+    connections_.clear();
+  }
+
+  pool_->WaitIdle();
+  pool_.reset();
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> l(stats_mu_);
+  return stats_;
+}
+
+std::string Server::StatsString() const {
+  ServerStats s = stats();
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "connections: accepted=%llu active=%llu\n"
+                "requests=%llu put=%llu get=%llu delete=%llu write=%llu "
+                "scan=%llu info=%llu ping=%llu\n"
+                "malformed_frames=%llu bytes_received=%llu bytes_sent=%llu\n",
+                (unsigned long long)s.connections_accepted,
+                (unsigned long long)s.connections_active,
+                (unsigned long long)s.requests, (unsigned long long)s.puts,
+                (unsigned long long)s.gets, (unsigned long long)s.deletes,
+                (unsigned long long)s.writes, (unsigned long long)s.scans,
+                (unsigned long long)s.infos, (unsigned long long)s.pings,
+                (unsigned long long)s.malformed_frames,
+                (unsigned long long)s.bytes_received,
+                (unsigned long long)s.bytes_sent);
+  return buf;
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (n < 0 && errno != EINTR) break;
+    if (n <= 0 || !(pfd.revents & POLLIN)) continue;
+
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> l(conn_mu_);
+      ReapFinishedConnections();
+      connections_.push_back(std::move(conn));
+    }
+    {
+      std::lock_guard<std::mutex> l(stats_mu_);
+      stats_.connections_accepted++;
+      stats_.connections_active++;
+    }
+    raw->reader = std::thread([this, raw] { ReadLoop(raw); });
+  }
+}
+
+void Server::ReapFinishedConnections() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::ReadLoop(Connection* conn) {
+  std::string buffer;
+  char chunk[64 << 10];
+  bool fatal = false;
+
+  while (!fatal) {
+    // Drain complete frames already buffered.
+    size_t consumed_total = 0;
+    while (true) {
+      Slice body;
+      size_t consumed = 0;
+      wire::FrameResult r =
+          wire::DecodeFrame(buffer.data() + consumed_total,
+                            buffer.size() - consumed_total, &body, &consumed);
+      if (r == wire::FrameResult::kNeedMore) break;
+      if (r != wire::FrameResult::kOk) {
+        // Bad CRC or insane length: the stream cannot be resynchronized.
+        // Report once (request_id 0: the header is untrusted) and drop.
+        {
+          std::lock_guard<std::mutex> l(stats_mu_);
+          stats_.malformed_frames++;
+        }
+        std::string msg;
+        wire::EncodeStatus(
+            Status::Corruption(r == wire::FrameResult::kBadCrc
+                                   ? "frame checksum mismatch"
+                                   : "frame length out of range"),
+            &msg);
+        SendResponse(conn, 0, wire::Opcode::kError, msg);
+        fatal = true;
+        break;
+      }
+
+      uint64_t request_id;
+      wire::Opcode opcode;
+      Slice payload;
+      if (!wire::ParseBody(body, &request_id, &opcode, &payload)) {
+        {
+          std::lock_guard<std::mutex> l(stats_mu_);
+          stats_.malformed_frames++;
+        }
+        // The frame itself checksummed fine, so framing is still intact:
+        // answer with an error and keep the connection.
+        std::string msg;
+        wire::EncodeStatus(Status::InvalidArgument("unknown opcode"), &msg);
+        consumed_total += consumed;
+        SendResponse(conn, request_id, wire::Opcode::kError, msg);
+        continue;
+      }
+      consumed_total += consumed;
+
+      // Backpressure: wait for a pipeline slot.
+      {
+        std::unique_lock<std::mutex> l(conn->pipeline_mu);
+        conn->pipeline_cv.wait(l, [&] {
+          return conn->outstanding < options_.max_pipeline;
+        });
+        conn->outstanding++;
+      }
+      std::string owned_payload = payload.ToString();
+      if (!pool_->Schedule([this, conn, request_id, opcode,
+                            owned_payload = std::move(owned_payload)] {
+            HandleRequest(conn, request_id, opcode, owned_payload);
+          })) {
+        // Pool is shutting down (server teardown racing a live reader):
+        // fail the request instead of dropping it silently.
+        HandleRequest(conn, request_id, opcode, owned_payload);
+      }
+    }
+    if (consumed_total > 0) buffer.erase(0, consumed_total);
+    if (fatal) break;
+
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF (client closed or Stop() half-closed) / error
+    {
+      std::lock_guard<std::mutex> l(stats_mu_);
+      stats_.bytes_received += static_cast<uint64_t>(n);
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  // Drain: let every dispatched request finish and write its response
+  // before the socket goes away.  The fd itself is closed by whoever joins
+  // this thread (reaper or Stop()).
+  {
+    std::unique_lock<std::mutex> l(conn->pipeline_mu);
+    conn->pipeline_cv.wait(l, [&] { return conn->outstanding == 0; });
+  }
+  // Signal EOF to the peer now; shutdown (unlike close) cannot recycle the
+  // descriptor, so it cannot race Stop()'s own shutdown on this fd.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> l(stats_mu_);
+    stats_.connections_active--;
+  }
+}
+
+void Server::HandleRequest(Connection* conn, uint64_t request_id,
+                           wire::Opcode opcode, const std::string& payload) {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> l(stats_mu_);
+    stats_.requests++;
+    switch (opcode) {
+      case wire::Opcode::kPut: stats_.puts++; break;
+      case wire::Opcode::kGet: stats_.gets++; break;
+      case wire::Opcode::kDelete: stats_.deletes++; break;
+      case wire::Opcode::kWrite: stats_.writes++; break;
+      case wire::Opcode::kScan: stats_.scans++; break;
+      case wire::Opcode::kInfo: stats_.infos++; break;
+      case wire::Opcode::kPing: stats_.pings++; break;
+      default: break;
+    }
+  }
+  switch (opcode) {
+    case wire::Opcode::kPing:
+      wire::EncodeStatus(Status::OK(), &out);
+      break;
+    case wire::Opcode::kPut:
+      DoPut(payload, &out);
+      break;
+    case wire::Opcode::kGet:
+      DoGet(payload, &out);
+      break;
+    case wire::Opcode::kDelete:
+      DoDelete(payload, &out);
+      break;
+    case wire::Opcode::kWrite:
+      DoWrite(payload, &out);
+      break;
+    case wire::Opcode::kScan:
+      DoScan(payload, &out);
+      break;
+    case wire::Opcode::kInfo:
+      DoInfo(payload, &out);
+      break;
+    default:
+      wire::EncodeStatus(Status::InvalidArgument("unexpected opcode"), &out);
+      break;
+  }
+  SendResponse(conn, request_id, opcode, out);
+  {
+    // Notify under the lock: the drain path may free *conn the moment it
+    // observes outstanding == 0, so notifying after unlock could touch a
+    // dead condition variable.
+    std::lock_guard<std::mutex> l(conn->pipeline_mu);
+    conn->outstanding--;
+    conn->pipeline_cv.notify_all();
+  }
+}
+
+void Server::SendResponse(Connection* conn, uint64_t request_id,
+                          wire::Opcode opcode, const Slice& payload) {
+  std::string frame;
+  wire::BuildFrame(request_id, opcode, payload, &frame);
+  std::lock_guard<std::mutex> l(conn->write_mu);
+  if (conn->write_failed) return;
+  if (!SendAll(conn->fd, frame.data(), frame.size())) {
+    conn->write_failed = true;
+    return;
+  }
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  stats_.bytes_sent += frame.size();
+}
+
+void Server::DoPut(const Slice& payload, std::string* out) {
+  Slice key, value;
+  if (!wire::DecodePut(payload, &key, &value)) {
+    wire::EncodeStatus(Status::InvalidArgument("malformed PUT payload"), out);
+    return;
+  }
+  wire::EncodeStatus(db_->Put(WriteOptions(), key, value), out);
+}
+
+void Server::DoGet(const Slice& payload, std::string* out) {
+  Slice key;
+  if (!wire::DecodeKey(payload, &key)) {
+    wire::EncodeStatus(Status::InvalidArgument("malformed GET payload"), out);
+    return;
+  }
+  std::string value;
+  Status s = db_->Get(ReadOptions(), key, &value);
+  wire::EncodeStatus(s, out);
+  if (s.ok()) PutLengthPrefixedSlice(out, value);
+}
+
+void Server::DoDelete(const Slice& payload, std::string* out) {
+  Slice key;
+  if (!wire::DecodeKey(payload, &key)) {
+    wire::EncodeStatus(Status::InvalidArgument("malformed DELETE payload"),
+                       out);
+    return;
+  }
+  wire::EncodeStatus(db_->Delete(WriteOptions(), key), out);
+}
+
+void Server::DoWrite(const Slice& payload, std::string* out) {
+  // Payload is the WriteBatch wire representation (write_batch.h).  Verify
+  // the record stream before applying: a malformed batch must not reach the
+  // WAL.
+  if (payload.size() < 12) {
+    wire::EncodeStatus(Status::InvalidArgument("short WRITE payload"), out);
+    return;
+  }
+  WriteBatch batch;
+  WriteBatchInternal::SetContents(&batch, payload);
+  CountingHandler counter;
+  Status s = batch.Iterate(&counter);
+  if (s.ok() && counter.count != WriteBatchInternal::Count(&batch)) {
+    s = Status::Corruption("WRITE batch count mismatch");
+  }
+  if (s.ok()) s = db_->Write(WriteOptions(), &batch);
+  wire::EncodeStatus(s, out);
+}
+
+void Server::DoScan(const Slice& payload, std::string* out) {
+  wire::ScanRequest req;
+  if (!wire::DecodeScan(payload, &req)) {
+    wire::EncodeStatus(Status::InvalidArgument("malformed SCAN payload"), out);
+    return;
+  }
+  uint32_t limit =
+      req.limit == 0 ? options_.default_scan_limit : req.limit;
+  if (limit > options_.max_scan_limit) limit = options_.max_scan_limit;
+
+  wire::ScanResponse resp;
+  size_t bytes = 0;
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  if (req.start_key.empty()) {
+    iter->SeekToFirst();
+  } else {
+    iter->Seek(req.start_key);
+  }
+  for (; iter->Valid(); iter->Next()) {
+    if (!req.end_key.empty() && iter->key().compare(req.end_key) >= 0) break;
+    if (resp.entries.size() >= limit || bytes >= options_.max_scan_bytes) {
+      resp.truncated = true;
+      break;
+    }
+    resp.entries.emplace_back(iter->key().ToString(),
+                              iter->value().ToString());
+    bytes += iter->key().size() + iter->value().size();
+  }
+  Status s = iter->status();
+  iter.reset();
+  wire::EncodeStatus(s, out);
+  if (s.ok()) wire::EncodeScanResponse(resp, out);
+}
+
+void Server::DoInfo(const Slice& payload, std::string* out) {
+  Slice property;
+  if (!wire::DecodeInfo(payload, &property)) {
+    wire::EncodeStatus(Status::InvalidArgument("malformed INFO payload"), out);
+    return;
+  }
+  if (property.empty()) {
+    // Binary DbStats snapshot.
+    wire::EncodeStatus(Status::OK(), out);
+    std::string encoded;
+    wire::EncodeDbStats(db_->GetStats(), &encoded);
+    PutLengthPrefixedSlice(out, encoded);
+    return;
+  }
+  std::string value;
+  if (property == Slice("server.stats")) {
+    value = StatsString();
+  } else if (!db_->GetProperty(property, &value)) {
+    wire::EncodeStatus(
+        Status::NotFound("unknown property", property.ToString()), out);
+    return;
+  }
+  wire::EncodeStatus(Status::OK(), out);
+  PutLengthPrefixedSlice(out, value);
+}
+
+}  // namespace iamdb

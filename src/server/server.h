@@ -1,0 +1,128 @@
+// Multi-threaded TCP front end exposing a DB over the wire protocol of
+// wire_protocol.h.  One acceptor thread owns the listening socket; each
+// connection gets a lightweight reader thread that decodes frames and
+// dispatches request execution onto a shared ThreadPool, so requests from
+// one connection are pipelined: up to `max_pipeline` of them execute
+// concurrently and responses are written back as they finish (correlated
+// by request_id, possibly out of order).
+//
+// Shutdown is graceful: Stop() stops accepting, half-closes every
+// connection's read side, waits for in-flight requests to finish and their
+// responses to flush, then joins all threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/db.h"
+#include "server/wire_protocol.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace iamdb {
+
+struct ServerOptions {
+  // IPv4 address to bind; loopback by default (no auth on the protocol).
+  std::string host = "127.0.0.1";
+  // 0 picks an ephemeral port; read it back via Server::port().
+  int port = 0;
+  int num_workers = 4;
+  int backlog = 128;
+  // Per-connection cap on concurrently executing requests; the reader
+  // stops decoding further frames until a slot frees (backpressure).
+  int max_pipeline = 128;
+  // SCAN limit applied when the request asks for 0, and the hard cap.
+  uint32_t default_scan_limit = 1000;
+  uint32_t max_scan_limit = 100000;
+  // SCAN responses stop adding entries past this many payload bytes
+  // (marked truncated) so a frame stays well under wire::kMaxFrameSize.
+  size_t max_scan_bytes = 4u << 20;
+};
+
+// Monotonic counters; sampled via GetProperty("server.stats") or the
+// INFO opcode's property passthrough.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t requests = 0;
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t writes = 0;
+  uint64_t scans = 0;
+  uint64_t infos = 0;
+  uint64_t pings = 0;
+  uint64_t malformed_frames = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+};
+
+class Server {
+ public:
+  // `db` must outlive the server and is shared with any local users; the
+  // server adds no locking beyond what DB already guarantees.
+  Server(DB* db, ServerOptions options);
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and starts the acceptor + worker pool.  Not restartable:
+  // one Start()/Stop() cycle per instance.
+  Status Start();
+
+  // Graceful shutdown: drain in-flight requests, flush their responses,
+  // join every thread.  Idempotent; safe to call concurrently with serving.
+  void Stop();
+
+  // Port actually bound (differs from options.port when that was 0).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+
+  // Textual counters summary (the "server.stats" property body).
+  std::string StatsString() const;
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ReadLoop(Connection* conn);
+  void HandleRequest(Connection* conn, uint64_t request_id, wire::Opcode op,
+                     const std::string& payload);
+  void SendResponse(Connection* conn, uint64_t request_id, wire::Opcode op,
+                    const Slice& payload);
+  void ReapFinishedConnections();  // conn_mu_ held
+
+  void DoGet(const Slice& payload, std::string* out);
+  void DoPut(const Slice& payload, std::string* out);
+  void DoDelete(const Slice& payload, std::string* out);
+  void DoWrite(const Slice& payload, std::string* out);
+  void DoScan(const Slice& payload, std::string* out);
+  void DoInfo(const Slice& payload, std::string* out);
+
+  DB* const db_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace iamdb

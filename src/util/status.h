@@ -44,6 +44,10 @@ class Status {
 
   std::string ToString() const;
 
+  // The bare message, without the code prefix ToString() adds (empty for
+  // OK).  Used where the code travels separately, e.g. the wire protocol.
+  std::string message() const { return rep_ == nullptr ? "" : rep_->msg; }
+
  private:
   enum Code {
     kOk = 0,

@@ -21,13 +21,14 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::Schedule(std::function<void()> work) {
+bool ThreadPool::Schedule(std::function<void()> work) {
   {
     std::lock_guard<std::mutex> l(mu_);
-    assert(!shutting_down_);
+    if (shutting_down_) return false;
     queue_.push_back(std::move(work));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {

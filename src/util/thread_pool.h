@@ -22,8 +22,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueue work; runs on some worker thread.  Safe from any thread,
-  // including from within a task.
-  void Schedule(std::function<void()> work);
+  // including from within a task.  Returns true if the work was accepted;
+  // false — a defined no-op, the work is dropped — when the pool is
+  // already shutting down (e.g. a server drain racing pool destruction).
+  // Callers that must not lose work check the result and run inline.
+  [[nodiscard]] bool Schedule(std::function<void()> work);
 
   // Block until the queue is empty and all workers are idle.  New work
   // scheduled by running tasks is waited for too.

@@ -1,0 +1,564 @@
+// End-to-end tests for the network serving layer: loopback round-trips for
+// every opcode, pipelined multi-client stress, malformed/truncated frame
+// handling, and graceful shutdown with in-flight requests.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/db.h"
+#include "env/mem_env.h"
+#include "memtable/write_batch.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire_protocol.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace iamdb {
+namespace {
+
+class ServerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<MemEnv>();
+    Options options;
+    options.env = env_.get();
+    options.node_capacity = 64 << 10;
+    options.table.block_size = 1024;
+    options.amt.fanout = 4;
+    ASSERT_TRUE(DB::Open(options, "/srv", &db_).ok());
+
+    ServerOptions server_options;
+    server_options.port = 0;  // ephemeral
+    server_options.num_workers = 4;
+    server_ = std::make_unique<Server>(db_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    server_.reset();
+    db_.reset();
+  }
+
+  ClientOptions MakeClientOptions() {
+    ClientOptions options;
+    options.port = server_->port();
+    options.connect_retries = 1;
+    return options;
+  }
+
+  // Raw loopback socket for protocol-level (mis)behaviour tests.
+  int RawConnect() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(0,
+              ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)));
+    return fd;
+  }
+
+  static bool RawSend(int fd, const std::string& bytes) {
+    return ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(bytes.size());
+  }
+
+  // Reads frames until `n` bodies have been collected or the peer closes.
+  static std::vector<std::string> RawReadBodies(int fd, size_t n) {
+    std::vector<std::string> bodies;
+    std::string buffer;
+    char chunk[16 << 10];
+    while (bodies.size() < n) {
+      Slice body;
+      size_t consumed;
+      wire::FrameResult r =
+          wire::DecodeFrame(buffer.data(), buffer.size(), &body, &consumed);
+      if (r == wire::FrameResult::kOk) {
+        bodies.emplace_back(body.data(), body.size());
+        buffer.erase(0, consumed);
+        continue;
+      }
+      EXPECT_EQ(wire::FrameResult::kNeedMore, r);
+      ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (got <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(got));
+    }
+    return bodies;
+  }
+
+  std::unique_ptr<MemEnv> env_;
+  std::unique_ptr<DB> db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, PingRoundTrip) {
+  Client client(MakeClientOptions());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, PutGetDeleteRoundTrip) {
+  Client client(MakeClientOptions());
+  EXPECT_TRUE(client.Put("alpha", "1").ok());
+  EXPECT_TRUE(client.Put("beta", "2").ok());
+
+  std::string value;
+  EXPECT_TRUE(client.Get("alpha", &value).ok());
+  EXPECT_EQ("1", value);
+  EXPECT_TRUE(client.Get("beta", &value).ok());
+  EXPECT_EQ("2", value);
+  EXPECT_TRUE(client.Get("gamma", &value).IsNotFound());
+
+  EXPECT_TRUE(client.Delete("alpha").ok());
+  EXPECT_TRUE(client.Get("alpha", &value).IsNotFound());
+
+  // The write really reached the DB instance behind the server.
+  EXPECT_TRUE(db_->Get(ReadOptions(), "beta", &value).ok());
+  EXPECT_EQ("2", value);
+}
+
+TEST_F(ServerTest, EmptyAndBinaryValues) {
+  Client client(MakeClientOptions());
+  EXPECT_TRUE(client.Put("empty", "").ok());
+  std::string binary("\x00\x01\xff\xfe\n\r", 6);
+  EXPECT_TRUE(client.Put(Slice("bin\x00key", 7), binary).ok());
+
+  std::string value;
+  EXPECT_TRUE(client.Get("empty", &value).ok());
+  EXPECT_EQ("", value);
+  EXPECT_TRUE(client.Get(Slice("bin\x00key", 7), &value).ok());
+  EXPECT_EQ(binary, value);
+}
+
+TEST_F(ServerTest, WriteBatchRoundTrip) {
+  Client client(MakeClientOptions());
+  EXPECT_TRUE(client.Put("kill-me", "x").ok());
+
+  WriteBatch batch;
+  batch.Put("batch-a", "A");
+  batch.Put("batch-b", "B");
+  batch.Delete("kill-me");
+  EXPECT_TRUE(client.Write(batch).ok());
+
+  std::string value;
+  EXPECT_TRUE(client.Get("batch-a", &value).ok());
+  EXPECT_EQ("A", value);
+  EXPECT_TRUE(client.Get("batch-b", &value).ok());
+  EXPECT_EQ("B", value);
+  EXPECT_TRUE(client.Get("kill-me", &value).IsNotFound());
+}
+
+TEST_F(ServerTest, MalformedWriteBatchRejected) {
+  Client client(MakeClientOptions());
+  WriteBatch batch;
+  batch.Put("a", "1");
+  std::string rep = WriteBatchInternal::Contents(&batch).ToString();
+  // Lie about the record count; the server must reject before applying.
+  EncodeFixed32(&rep[8], 7);
+  WriteBatch tampered;
+  WriteBatchInternal::SetContents(&tampered, rep);
+  Status s = client.Write(tampered);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  std::string value;
+  EXPECT_TRUE(client.Get("a", &value).IsNotFound());
+}
+
+TEST_F(ServerTest, ScanBoundedRange) {
+  Client client(MakeClientOptions());
+  for (int i = 0; i < 50; i++) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%03d", i);
+    ASSERT_TRUE(client.Put(key, std::string("v") + key).ok());
+  }
+
+  std::vector<wire::KeyValue> entries;
+  bool truncated = true;
+  // Bounded [key010, key020): half-open, 10 entries.
+  ASSERT_TRUE(
+      client.Scan("key010", "key020", 0, &entries, &truncated).ok());
+  ASSERT_EQ(10u, entries.size());
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ("key010", entries.front().first);
+  EXPECT_EQ("vkey010", entries.front().second);
+  EXPECT_EQ("key019", entries.back().first);
+
+  // Unbounded with a limit: truncated.
+  ASSERT_TRUE(client.Scan("", "", 7, &entries, &truncated).ok());
+  EXPECT_EQ(7u, entries.size());
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ("key000", entries.front().first);
+
+  // Start beyond the last key: empty.
+  ASSERT_TRUE(client.Scan("zzz", "", 0, &entries, &truncated).ok());
+  EXPECT_TRUE(entries.empty());
+  EXPECT_FALSE(truncated);
+}
+
+TEST_F(ServerTest, InfoStatsAndProperties) {
+  Client client(MakeClientOptions());
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(client.Put("info" + std::to_string(i),
+                           std::string(100, 'x')).ok());
+  }
+  ASSERT_TRUE(db_->FlushAll().ok());
+
+  DbStats stats;
+  ASSERT_TRUE(client.GetStats(&stats).ok());
+  EXPECT_GT(stats.user_bytes, 0u);
+  EXPECT_GT(stats.space_used_bytes, 0u);
+  EXPECT_FALSE(stats.level_bytes.empty());
+
+  // The remote snapshot matches a local one on the stable counters.
+  DbStats local = db_->GetStats();
+  EXPECT_EQ(local.user_bytes, stats.user_bytes);
+  EXPECT_EQ(local.space_used_bytes, stats.space_used_bytes);
+  EXPECT_EQ(local.stall_micros, stats.stall_micros);
+
+  // GetProperty passthrough.
+  std::string value;
+  ASSERT_TRUE(client.GetProperty("iamdb.stats", &value).ok());
+  EXPECT_NE(std::string::npos, value.find("space="));
+
+  // Server-side counters property.
+  ASSERT_TRUE(client.GetProperty("server.stats", &value).ok());
+  EXPECT_NE(std::string::npos, value.find("requests="));
+  EXPECT_NE(std::string::npos, value.find("connections:"));
+
+  EXPECT_TRUE(client.GetProperty("no.such.property", &value).IsNotFound());
+}
+
+TEST_F(ServerTest, ManyClientsPipelinedStress) {
+  constexpr int kClients = 8;
+  constexpr int kOpsPerClient = 200;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; c++) {
+    threads.emplace_back([this, c, &failures] {
+      Client client(MakeClientOptions());
+      for (int i = 0; i < kOpsPerClient; i++) {
+        std::string key =
+            "c" + std::to_string(c) + "-" + std::to_string(i);
+        if (!client.Put(key, "v" + key).ok()) failures++;
+      }
+      for (int i = 0; i < kOpsPerClient; i++) {
+        std::string key =
+            "c" + std::to_string(c) + "-" + std::to_string(i);
+        std::string value;
+        if (!client.Get(key, &value).ok() || value != "v" + key) failures++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(0, failures.load());
+
+  ServerStats stats = server_->stats();
+  EXPECT_GE(stats.connections_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_GE(stats.requests,
+            static_cast<uint64_t>(2 * kClients * kOpsPerClient));
+}
+
+// True wire-level pipelining: many requests written before any response is
+// read; responses may arrive out of order and are correlated by id.
+TEST_F(ServerTest, RawPipelinedRequests) {
+  int fd = RawConnect();
+  constexpr uint64_t kRequests = 64;
+  std::string wire_out;
+  for (uint64_t id = 1; id <= kRequests; id++) {
+    std::string payload;
+    wire::EncodePut("pipe" + std::to_string(id), "v" + std::to_string(id),
+                    &payload);
+    wire::BuildFrame(id, wire::Opcode::kPut, payload, &wire_out);
+  }
+  ASSERT_TRUE(RawSend(fd, wire_out));
+
+  std::vector<std::string> bodies = RawReadBodies(fd, kRequests);
+  ASSERT_EQ(kRequests, bodies.size());
+  std::map<uint64_t, Status> responses;
+  for (const std::string& body : bodies) {
+    uint64_t id;
+    wire::Opcode op;
+    Slice payload;
+    ASSERT_TRUE(wire::ParseBody(body, &id, &op, &payload));
+    EXPECT_EQ(wire::Opcode::kPut, op);
+    Status s;
+    ASSERT_TRUE(wire::DecodeStatus(&payload, &s));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    responses[id] = s;
+  }
+  EXPECT_EQ(kRequests, responses.size());  // every id answered exactly once
+  ::close(fd);
+
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), "pipe1", &value).ok());
+  EXPECT_TRUE(db_->Get(ReadOptions(), "pipe64", &value).ok());
+}
+
+TEST_F(ServerTest, BadCrcFrameRejected) {
+  int fd = RawConnect();
+  std::string payload;
+  wire::EncodePut("key", "value", &payload);
+  std::string frame;
+  wire::BuildFrame(1, wire::Opcode::kPut, payload, &frame);
+  frame.back() ^= 0x5a;  // corrupt the last payload byte
+  ASSERT_TRUE(RawSend(fd, frame));
+
+  // The server answers with a kError frame (id 0) and closes.
+  std::vector<std::string> bodies = RawReadBodies(fd, 1);
+  ASSERT_EQ(1u, bodies.size());
+  uint64_t id;
+  wire::Opcode op;
+  Slice p;
+  ASSERT_TRUE(wire::ParseBody(bodies[0], &id, &op, &p));
+  EXPECT_EQ(0u, id);
+  EXPECT_EQ(wire::Opcode::kError, op);
+  Status s;
+  ASSERT_TRUE(wire::DecodeStatus(&p, &s));
+  EXPECT_TRUE(s.IsCorruption());
+
+  char byte;
+  EXPECT_EQ(0, ::recv(fd, &byte, 1, 0));  // EOF: connection dropped
+  ::close(fd);
+  EXPECT_GE(server_->stats().malformed_frames, 1u);
+}
+
+TEST_F(ServerTest, OversizedFrameRejected) {
+  int fd = RawConnect();
+  std::string frame;
+  PutFixed32(&frame, wire::kMaxFrameSize + 1);
+  frame.append("garbage that will never be read");
+  ASSERT_TRUE(RawSend(fd, frame));
+
+  std::vector<std::string> bodies = RawReadBodies(fd, 1);
+  ASSERT_EQ(1u, bodies.size());
+  uint64_t id;
+  wire::Opcode op;
+  Slice p;
+  ASSERT_TRUE(wire::ParseBody(bodies[0], &id, &op, &p));
+  EXPECT_EQ(wire::Opcode::kError, op);
+  char byte;
+  EXPECT_EQ(0, ::recv(fd, &byte, 1, 0));
+  ::close(fd);
+}
+
+TEST_F(ServerTest, UnknownOpcodeAnsweredWithoutDroppingConnection) {
+  int fd = RawConnect();
+  // A frame whose checksum is fine but whose opcode byte (42) is unknown.
+  std::string body;
+  PutFixed64(&body, 77);
+  body.push_back(static_cast<char>(42));
+  std::string frame;
+  PutFixed32(&frame, static_cast<uint32_t>(4 + body.size()));
+  PutFixed32(&frame, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  frame.append(body);
+  // Follow with a valid PING to prove the stream survives.
+  std::string payload;
+  wire::BuildFrame(78, wire::Opcode::kPing, Slice(), &frame);
+  ASSERT_TRUE(RawSend(fd, frame));
+
+  std::vector<std::string> bodies = RawReadBodies(fd, 2);
+  ASSERT_EQ(2u, bodies.size());
+  std::map<uint64_t, wire::Opcode> by_id;
+  for (const std::string& b : bodies) {
+    uint64_t id;
+    wire::Opcode op;
+    Slice p;
+    ASSERT_TRUE(wire::ParseBody(b, &id, &op, &p));
+    by_id[id] = op;
+  }
+  EXPECT_EQ(wire::Opcode::kError, by_id[77]);
+  EXPECT_EQ(wire::Opcode::kPing, by_id[78]);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, TruncatedFrameThenCloseIsHarmless) {
+  int fd = RawConnect();
+  std::string payload;
+  wire::EncodePut("dangling", "value", &payload);
+  std::string frame;
+  wire::BuildFrame(9, wire::Opcode::kPut, payload, &frame);
+  // Send only half the frame, then disconnect.
+  ASSERT_TRUE(RawSend(fd, frame.substr(0, frame.size() / 2)));
+  ::close(fd);
+
+  // The server must survive and keep serving others.
+  Client client(MakeClientOptions());
+  EXPECT_TRUE(client.Ping().ok());
+  std::string value;
+  EXPECT_TRUE(client.Get("dangling", &value).IsNotFound());
+}
+
+TEST_F(ServerTest, GracefulShutdownDrainsInFlightRequests) {
+  int fd = RawConnect();
+  // Pipeline a burst of PUTs, then immediately Stop() the server: every
+  // accepted request must still be executed and answered before the
+  // connection closes.
+  constexpr uint64_t kRequests = 100;
+  std::string wire_out;
+  for (uint64_t id = 1; id <= kRequests; id++) {
+    std::string payload;
+    wire::EncodePut("drain" + std::to_string(id), std::string(256, 'd'),
+                    &payload);
+    wire::BuildFrame(id, wire::Opcode::kPut, payload, &wire_out);
+  }
+  ASSERT_TRUE(RawSend(fd, wire_out));
+
+  std::thread stopper([this] { server_->Stop(); });
+
+  std::vector<std::string> bodies = RawReadBodies(fd, kRequests);
+  stopper.join();
+  ::close(fd);
+
+  // Every request the server read before the drain point got a response;
+  // the tail may have been cut by the half-close.  All answered requests
+  // must have succeeded, and every response is well-formed.
+  std::map<uint64_t, bool> answered;
+  for (const std::string& body : bodies) {
+    uint64_t id;
+    wire::Opcode op;
+    Slice p;
+    ASSERT_TRUE(wire::ParseBody(body, &id, &op, &p));
+    EXPECT_EQ(wire::Opcode::kPut, op);
+    Status s;
+    ASSERT_TRUE(wire::DecodeStatus(&p, &s));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    answered[id] = true;
+  }
+  EXPECT_EQ(bodies.size(), answered.size());
+  EXPECT_FALSE(server_->running());
+
+  // Every answered PUT is durably in the DB.
+  for (const auto& [id, ok] : answered) {
+    std::string value;
+    EXPECT_TRUE(
+        db_->Get(ReadOptions(), "drain" + std::to_string(id), &value).ok())
+        << "answered request " << id << " missing from DB";
+  }
+}
+
+TEST_F(ServerTest, StopIsIdempotentAndClientSeesClosure) {
+  Client client(MakeClientOptions());
+  ASSERT_TRUE(client.Ping().ok());
+  server_->Stop();
+  server_->Stop();  // second call: no-op
+  EXPECT_FALSE(server_->running());
+  // The established connection was closed; a fresh call fails cleanly.
+  Status s = client.Ping();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(ServerTest, ServerStatsCountOpcodes) {
+  Client client(MakeClientOptions());
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Put("s", "1").ok());
+  std::string value;
+  ASSERT_TRUE(client.Get("s", &value).ok());
+  ASSERT_TRUE(client.Delete("s").ok());
+
+  ServerStats stats = server_->stats();
+  EXPECT_GE(stats.pings, 1u);
+  EXPECT_GE(stats.puts, 1u);
+  EXPECT_GE(stats.gets, 1u);
+  EXPECT_GE(stats.deletes, 1u);
+  EXPECT_GE(stats.requests, 4u);
+  EXPECT_GT(stats.bytes_received, 0u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+}
+
+// Wire-protocol unit coverage that needs no socket.
+TEST(WireProtocolTest, DbStatsRoundTrip) {
+  DbStats stats;
+  stats.total_write_amp = 3.25;
+  stats.level_write_amp = {1.0, 2.5};
+  stats.level_bytes = {100, 2000, 30000};
+  stats.level_node_counts = {1, 2, 3};
+  stats.user_bytes = 123456;
+  stats.space_used_bytes = 234567;
+  stats.cache_usage = 42;
+  stats.cache_hits = 7;
+  stats.cache_misses = 9;
+  stats.mixed_level = 2;
+  stats.mixed_level_k = 3;
+  stats.pending_debt_bytes = 555;
+  stats.stall_micros = 777;
+  stats.io.bytes_written = 1111;
+  stats.io.bytes_read = 2222;
+  stats.io.write_ops = 33;
+  stats.io.read_ops = 44;
+  stats.io.fsyncs = 5;
+
+  std::string encoded;
+  wire::EncodeDbStats(stats, &encoded);
+  DbStats decoded;
+  ASSERT_TRUE(wire::DecodeDbStats(encoded, &decoded));
+
+  EXPECT_EQ(stats.total_write_amp, decoded.total_write_amp);
+  EXPECT_EQ(stats.level_write_amp, decoded.level_write_amp);
+  EXPECT_EQ(stats.level_bytes, decoded.level_bytes);
+  EXPECT_EQ(stats.level_node_counts, decoded.level_node_counts);
+  EXPECT_EQ(stats.user_bytes, decoded.user_bytes);
+  EXPECT_EQ(stats.space_used_bytes, decoded.space_used_bytes);
+  EXPECT_EQ(stats.cache_usage, decoded.cache_usage);
+  EXPECT_EQ(stats.cache_hits, decoded.cache_hits);
+  EXPECT_EQ(stats.cache_misses, decoded.cache_misses);
+  EXPECT_EQ(stats.mixed_level, decoded.mixed_level);
+  EXPECT_EQ(stats.mixed_level_k, decoded.mixed_level_k);
+  EXPECT_EQ(stats.pending_debt_bytes, decoded.pending_debt_bytes);
+  EXPECT_EQ(stats.stall_micros, decoded.stall_micros);
+  EXPECT_EQ(stats.io.bytes_written, decoded.io.bytes_written);
+  EXPECT_EQ(stats.io.bytes_read, decoded.io.bytes_read);
+  EXPECT_EQ(stats.io.write_ops, decoded.io.write_ops);
+  EXPECT_EQ(stats.io.read_ops, decoded.io.read_ops);
+  EXPECT_EQ(stats.io.fsyncs, decoded.io.fsyncs);
+}
+
+TEST(WireProtocolTest, DecodeFrameEdgeCases) {
+  std::string frame;
+  wire::BuildFrame(5, wire::Opcode::kPing, Slice(), &frame);
+
+  // Every strict prefix is kNeedMore.
+  for (size_t n = 0; n < frame.size(); n++) {
+    Slice body;
+    size_t consumed;
+    EXPECT_EQ(wire::FrameResult::kNeedMore,
+              wire::DecodeFrame(frame.data(), n, &body, &consumed))
+        << "prefix " << n;
+  }
+
+  Slice body;
+  size_t consumed;
+  ASSERT_EQ(wire::FrameResult::kOk,
+            wire::DecodeFrame(frame.data(), frame.size(), &body, &consumed));
+  EXPECT_EQ(frame.size(), consumed);
+
+  // Flipping any body byte breaks the checksum.
+  std::string bad = frame;
+  bad[wire::kFrameHeaderSize] ^= 0x01;
+  EXPECT_EQ(wire::FrameResult::kBadCrc,
+            wire::DecodeFrame(bad.data(), bad.size(), &body, &consumed));
+
+  // A too-small length prefix is rejected outright.
+  std::string tiny;
+  PutFixed32(&tiny, 3);
+  tiny.append(16, '\0');
+  EXPECT_EQ(wire::FrameResult::kTooLarge,
+            wire::DecodeFrame(tiny.data(), tiny.size(), &body, &consumed));
+}
+
+}  // namespace
+}  // namespace iamdb

@@ -2,6 +2,7 @@
 // random, arena, histogram, thread pool.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
@@ -361,7 +362,7 @@ TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
   for (int i = 0; i < 1000; i++) {
-    pool.Schedule([&count] { count.fetch_add(1); });
+    EXPECT_TRUE(pool.Schedule([&count] { count.fetch_add(1); }));
   }
   pool.WaitIdle();
   EXPECT_EQ(1000, count.load());
@@ -370,12 +371,12 @@ TEST(ThreadPoolTest, RunsAllTasks) {
 TEST(ThreadPoolTest, TasksCanScheduleMoreTasks) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
-  pool.Schedule([&pool, &count] {
+  EXPECT_TRUE(pool.Schedule([&pool, &count] {
     count.fetch_add(1);
     for (int i = 0; i < 10; i++) {
-      pool.Schedule([&count] { count.fetch_add(1); });
+      EXPECT_TRUE(pool.Schedule([&count] { count.fetch_add(1); }));
     }
-  });
+  }));
   pool.WaitIdle();
   EXPECT_EQ(11, count.load());
 }
@@ -390,10 +391,31 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   {
     ThreadPool pool(2);
     for (int i = 0; i < 100; i++) {
-      pool.Schedule([&count] { count.fetch_add(1); });
+      EXPECT_TRUE(pool.Schedule([&count] { count.fetch_add(1); }));
     }
   }
   EXPECT_EQ(100, count.load());
+}
+
+// Schedule during shutdown is a defined no-op: it returns false and drops
+// the work instead of racing pool destruction (the server drain path
+// relies on this being well-defined in release builds).
+TEST(ThreadPoolTest, ScheduleDuringShutdownIsRejected) {
+  std::atomic<bool> rejected_seen{false};
+  std::atomic<int> noops_accepted{0};
+  {
+    ThreadPool pool(1);
+    // The task occupies the single worker and keeps scheduling until the
+    // destructor (running concurrently on the main thread) flips the pool
+    // into shutdown and Schedule starts returning false.
+    EXPECT_TRUE(pool.Schedule([&] {
+      while (pool.Schedule([&noops_accepted] { noops_accepted++; })) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      rejected_seen.store(true);
+    }));
+  }  // ~ThreadPool: sets shutting_down_, then drains the queue and joins
+  EXPECT_TRUE(rejected_seen.load());
 }
 
 }  // namespace
