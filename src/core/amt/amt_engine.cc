@@ -496,7 +496,7 @@ Status AmtEngine::FlushInto(CompactionStream* source, int tlevel,
           s = writer.Add(ik, v);
         }
         if (s.ok()) {
-          s = writer.Finish(false, &result);
+          s = writer.Finish(/*sync=*/true, &result);
         } else {
           writer.Abandon();
         }
@@ -517,7 +517,7 @@ Status AmtEngine::FlushInto(CompactionStream* source, int tlevel,
           s = appender.Add(ik, v);
         }
         if (s.ok()) {
-          s = appender.Finish(false, &result);
+          s = appender.Finish(/*sync=*/true, &result);
         } else {
           appender.Abandon();
         }
@@ -576,7 +576,7 @@ Status AmtEngine::FlushInto(CompactionStream* source, int tlevel,
       auto finish_output = [&]() -> Status {
         if (writer == nullptr) return Status::OK();
         MSTableBuildResult result;
-        Status fs = writer->Finish(false, &result);
+        Status fs = writer->Finish(/*sync=*/true, &result);
         if (!fs.ok()) return fs;
         auto node = std::make_shared<NodeMeta>();
         node->node_id = out_node;
@@ -702,7 +702,7 @@ Status AmtEngine::RunFlushImm(const Job& job) {
       }
       if (s.ok()) s = stream.status();
       if (s.ok()) {
-        s = writer.Finish(false, &result);
+        s = writer.Finish(/*sync=*/true, &result);
       } else {
         writer.Abandon();
       }
@@ -823,7 +823,7 @@ Status AmtEngine::RunFlushNode(const Job& job, bool destroy_parent) {
       }
       if (s.ok()) s = stream.status();
       if (s.ok()) {
-        s = writer.Finish(false, &result);
+        s = writer.Finish(/*sync=*/true, &result);
       } else {
         writer.Abandon();
       }
@@ -931,7 +931,7 @@ Status AmtEngine::RunSplit(const Job& job) {
       }
       if (s.ok()) s = stream.status();
       if (s.ok() && wrote_any) {
-        s = writer->Finish(false, &result);
+        s = writer->Finish(/*sync=*/true, &result);
         if (s.ok()) {
           auto out = std::make_shared<NodeMeta>();
           out->node_id = out_node;

@@ -8,6 +8,7 @@
 #include "core/filename.h"
 #include "core/leveled/leveled_engine.h"
 #include "table/merging_iterator.h"
+#include "util/sync_point.h"
 #include "wal/log_reader.h"
 
 namespace iamdb {
@@ -260,11 +261,13 @@ Status DBImpl::WriteSnapshotManifest() {
     }
   }
   uint64_t manifest_number = next_file_number_++;
+  IAMDB_SYNC_POINT("DBImpl::WriteSnapshotManifest:BeforeCreate");
   manifest_ = std::make_unique<ManifestWriter>(counting_env_.get(), dbname_);
   return manifest_->Create(manifest_number, base);
 }
 
 void DBImpl::RemoveObsoleteFiles() {
+  IAMDB_SYNC_POINT("DBImpl::RemoveObsoleteFiles:Start");
   // Live set: current log(s), current manifest, files referenced by the
   // engine's current version or pinned by FileLifetime refs elsewhere.
   std::set<uint64_t> live_tables;
@@ -340,11 +343,21 @@ Status DB::Delete(const WriteOptions& options, const Slice& key) {
 }
 
 Status DBImpl::SwitchMemTable() {
+  // Seal the outgoing WAL.  Every non-current WAL must be fully durable:
+  // otherwise a later sync-acknowledged write in the new WAL could survive
+  // a crash while earlier unsynced records in the old one are lost,
+  // leaving a hole in the recovered history.
+  if (log_file_ != nullptr) {
+    Status sync_status = log_file_->Sync();
+    if (!sync_status.ok()) return sync_status;
+  }
+  IAMDB_SYNC_POINT("DBImpl::SwitchMemTable:AfterOldWalSeal");
   uint64_t new_log_number = next_file_number_++;
   std::unique_ptr<WritableFile> lfile;
   Status s = counting_env_->NewWritableFile(
       LogFileName(dbname_, new_log_number), &lfile);
   if (!s.ok()) return s;
+  IAMDB_SYNC_POINT("DBImpl::SwitchMemTable:AfterNewWal");
 
   if (log_number_ != 0) old_log_numbers_.insert(log_number_);
   log_file_ = std::move(lfile);
@@ -459,9 +472,12 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       // writers queue behind it.
       l.unlock();
       Slice contents = WriteBatchInternal::Contents(write_batch);
+      IAMDB_SYNC_POINT("DBImpl::Write:BeforeWalAppend");
       status = log_->AddRecord(contents);
+      IAMDB_SYNC_POINT("DBImpl::Write:AfterWalAppend");
       if (status.ok() && w.sync) {
         status = log_file_->Sync();
+        IAMDB_SYNC_POINT("DBImpl::Write:AfterWalSync");
       }
       if (status.ok()) {
         status = WriteBatchInternal::InsertInto(write_batch, mem_);
@@ -613,6 +629,7 @@ void DBImpl::ImmFlushed() {
     imm_->Unref();
     imm_ = nullptr;
   }
+  IAMDB_SYNC_POINT("DBImpl::ImmFlushed:BeforeWalRemove");
   // WALs older than the current log are covered by flushed data.
   for (uint64_t old : old_log_numbers_) {
     counting_env_->RemoveFile(LogFileName(dbname_, old));
@@ -625,7 +642,13 @@ Status DBImpl::LogEdit(VersionEdit* edit) {
   edit->SetNextFileNumber(next_file_number_);
   edit->SetNextNodeId(next_node_id_);
   edit->SetLastSequence(last_sequence_);
-  return manifest_->Append(*edit, options_.sync_wal);
+  IAMDB_SYNC_POINT("DBImpl::LogEdit:BeforeManifestAppend");
+  // Always synced: edits gate the deletion of the WALs and input tables
+  // that carry the same data, so an unsynced edit could lose acknowledged
+  // writes across a crash (sync_wal only governs per-write WAL syncs).
+  Status s = manifest_->Append(*edit, true);
+  IAMDB_SYNC_POINT("DBImpl::LogEdit:AfterManifestAppend");
+  return s;
 }
 
 Status DBImpl::WaitForQuiescence() {

@@ -218,7 +218,7 @@ Status LeveledEngine::FlushImm() {
     }
     if (s.ok()) s = stream.status();
     if (s.ok()) {
-      s = writer.Finish(db_->options().sync_wal, &result);
+      s = writer.Finish(/*sync=*/true, &result);
     } else {
       writer.Abandon();
     }
@@ -395,7 +395,7 @@ Status LeveledEngine::CompactLevel(int level) {
     MSTableBuildResult result;
     auto finish_output = [&]() -> Status {
       if (writer == nullptr) return Status::OK();
-      Status fs = writer->Finish(false, &result);
+      Status fs = writer->Finish(/*sync=*/true, &result);
       if (!fs.ok()) return fs;
       auto node = std::make_shared<NodeMeta>();
       node->node_id = out_node_id;

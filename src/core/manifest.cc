@@ -4,6 +4,7 @@
 
 #include "core/filename.h"
 #include "util/coding.h"
+#include "util/sync_point.h"
 #include "wal/log_reader.h"
 
 namespace iamdb {
@@ -171,13 +172,17 @@ Status ManifestWriter::Create(uint64_t manifest_number,
   log_ = std::make_unique<log::Writer>(file_.get());
   s = Append(base, true);
   if (!s.ok()) return s;
-  return SetCurrentFile(env_, dbname_, manifest_number);
+  IAMDB_SYNC_POINT("ManifestWriter::Create:AfterBase");
+  s = SetCurrentFile(env_, dbname_, manifest_number);
+  IAMDB_SYNC_POINT("ManifestWriter::Create:AfterCurrent");
+  return s;
 }
 
 Status ManifestWriter::Append(const VersionEdit& edit, bool sync) {
   std::string record;
   edit.EncodeTo(&record);
   Status s = log_->AddRecord(record);
+  IAMDB_SYNC_POINT("ManifestWriter::Append:AfterRecord");
   if (s.ok() && sync) s = file_->Sync();
   bytes_written_ += record.size();
   return s;

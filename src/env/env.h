@@ -65,6 +65,9 @@ class Env {
   virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
+  // Shrink a file to at most `size` bytes (no-op if already smaller).
+  // Models a crash tearing the tail off a log; used by failure injection.
+  virtual Status Truncate(const std::string& fname, uint64_t size) = 0;
 
   virtual uint64_t NowMicros() = 0;
   virtual void SleepForMicroseconds(int micros) = 0;
@@ -120,6 +123,9 @@ class EnvWrapper : public Env {
   }
   Status RenameFile(const std::string& s, const std::string& t) override {
     return target_->RenameFile(s, t);
+  }
+  Status Truncate(const std::string& f, uint64_t size) override {
+    return target_->Truncate(f, size);
   }
   uint64_t NowMicros() override { return target_->NowMicros(); }
   void SleepForMicroseconds(int micros) override {

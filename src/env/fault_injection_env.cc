@@ -1,0 +1,288 @@
+#include "env/fault_injection_env.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace iamdb {
+
+// Forwards writes to the target file, reporting sizes back to the env so
+// it can track the unsynced tail, and consulting the env's fault state
+// before every mutating call.
+class FaultInjectionWritableFile final : public WritableFile {
+ public:
+  FaultInjectionWritableFile(std::string fname,
+                             std::unique_ptr<WritableFile> target,
+                             FaultInjectionEnv* env)
+      : fname_(std::move(fname)), target_(std::move(target)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    Status s = env_->MaybeInject(kFaultWrite, fname_);
+    if (!s.ok()) return s;
+    s = target_->Append(data);
+    if (s.ok()) env_->RecordAppend(fname_, data.size());
+    return s;
+  }
+
+  Status Close() override { return target_->Close(); }
+  Status Flush() override { return target_->Flush(); }
+
+  Status Sync() override {
+    Status s = env_->MaybeInject(kFaultSync, fname_);
+    if (!s.ok()) return s;
+    s = target_->Sync();
+    if (s.ok()) env_->RecordSync(fname_);
+    return s;
+  }
+
+ private:
+  const std::string fname_;
+  std::unique_ptr<WritableFile> target_;
+  FaultInjectionEnv* env_;
+};
+
+void FaultInjectionEnv::SetFilesystemActive(bool active) {
+  std::lock_guard<std::mutex> l(mu_);
+  active_ = active;
+}
+
+bool FaultInjectionEnv::IsFilesystemActive() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return active_;
+}
+
+Status FaultInjectionEnv::DropUnsyncedFileData() {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& [fname, state] : files_) {
+    if (state.size > state.synced_size) {
+      Status s = target()->Truncate(fname, state.synced_size);
+      if (!s.ok()) return s;
+      state.size = state.synced_size;
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::DropRandomUnsyncedFileData(Random64* rng) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& [fname, state] : files_) {
+    if (state.size > state.synced_size) {
+      uint64_t keep =
+          state.synced_size + rng->Uniform(state.size - state.synced_size + 1);
+      Status s = target()->Truncate(fname, keep);
+      if (!s.ok()) return s;
+      state.size = keep;
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::DeleteFilesCreatedAfterLastDirSync() {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<std::string> doomed;
+  for (const auto& [fname, state] : files_) {
+    // A successful Sync() persists the directory entry too (journaled-fs
+    // model); only never-synced creations are lost.
+    if (state.created_since_dir_sync && state.synced_size == 0) {
+      doomed.push_back(fname);
+    }
+  }
+  for (const auto& fname : doomed) {
+    Status s = target()->RemoveFile(fname);
+    if (!s.ok() && !s.IsNotFound()) return s;
+    files_.erase(fname);
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::MarkDirSynced() {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& [fname, state] : files_) {
+    state.created_since_dir_sync = false;
+  }
+}
+
+void FaultInjectionEnv::SetErrorSchedule(uint32_t mask, uint64_t seed,
+                                         uint32_t one_in,
+                                         uint64_t max_failures) {
+  std::lock_guard<std::mutex> l(mu_);
+  schedule_mask_ = mask;
+  schedule_one_in_ = one_in;
+  schedule_rng_ = Random64(seed);
+  schedule_bounded_ = max_failures > 0;
+  schedule_failures_left_ = max_failures;
+}
+
+void FaultInjectionEnv::ClearErrorSchedule() {
+  std::lock_guard<std::mutex> l(mu_);
+  schedule_mask_ = 0;
+  schedule_one_in_ = 0;
+}
+
+void FaultInjectionEnv::SetWriteBudget(int64_t budget) {
+  std::lock_guard<std::mutex> l(mu_);
+  budget_ = budget;
+}
+
+void FaultInjectionEnv::Heal() {
+  std::lock_guard<std::mutex> l(mu_);
+  active_ = true;
+  budget_ = -1;
+  schedule_mask_ = 0;
+  schedule_one_in_ = 0;
+}
+
+uint64_t FaultInjectionEnv::UnsyncedBytes() const {
+  std::lock_guard<std::mutex> l(mu_);
+  uint64_t total = 0;
+  for (const auto& [fname, state] : files_) {
+    total += state.size - state.synced_size;
+  }
+  return total;
+}
+
+Status FaultInjectionEnv::MaybeInject(FaultOp op, const std::string& ctx) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (!active_) return Status::IOError("injected: filesystem inactive", ctx);
+  if (budget_ >= 0) {
+    // The budget charges the whole write path, matching the historical
+    // FaultyEnv: create/append-open/write/sync each consume one unit.
+    if (op != kFaultRename) {
+      if (budget_ == 0) return Status::IOError("injected: budget", ctx);
+      budget_--;
+    }
+  }
+  if (schedule_one_in_ != 0 && (schedule_mask_ & op) != 0 &&
+      (!schedule_bounded_ || schedule_failures_left_ > 0)) {
+    if (schedule_rng_.Uniform(schedule_one_in_) == 0) {
+      if (schedule_bounded_) schedule_failures_left_--;
+      return Status::IOError("injected: scheduled fault", ctx);
+    }
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::RecordAppend(const std::string& fname, uint64_t n) {
+  std::lock_guard<std::mutex> l(mu_);
+  files_[fname].size += n;
+}
+
+void FaultInjectionEnv::RecordSync(const std::string& fname) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = files_.find(fname);
+  if (it != files_.end()) it->second.synced_size = it->second.size;
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  Status s = MaybeInject(kFaultAllocate, fname);
+  if (!s.ok()) return s;
+  s = EnvWrapper::NewWritableFile(fname, result);
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    FileState state;  // created empty: everything from here is unsynced
+    state.created_since_dir_sync = true;
+    files_[fname] = state;
+  }
+  *result = std::make_unique<FaultInjectionWritableFile>(
+      fname, std::move(*result), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewAppendableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  Status s = MaybeInject(kFaultAllocate, fname);
+  if (!s.ok()) return s;
+  s = EnvWrapper::NewAppendableFile(fname, result);
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      // Pre-existing file opened for append (or the file is new): its
+      // current contents predate this env, so treat them as durable.
+      uint64_t size = 0;
+      target()->GetFileSize(fname, &size);
+      FileState state;
+      state.size = size;
+      state.synced_size = size;
+      state.created_since_dir_sync = (size == 0);
+      files_[fname] = state;
+    }
+  }
+  *result = std::make_unique<FaultInjectionWritableFile>(
+      fname, std::move(*result), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!active_) {
+      return Status::IOError("injected: filesystem inactive", fname);
+    }
+  }
+  Status s = EnvWrapper::RemoveFile(fname);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> l(mu_);
+    files_.erase(fname);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& src,
+                                     const std::string& target_name) {
+  Status s = MaybeInject(kFaultRename, src);
+  if (!s.ok()) return s;
+  s = EnvWrapper::RenameFile(src, target_name);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(src);
+    if (it != files_.end()) {
+      files_[target_name] = it->second;
+      files_.erase(it);
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& dirname) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!active_) {
+      return Status::IOError("injected: filesystem inactive", dirname);
+    }
+  }
+  return EnvWrapper::CreateDir(dirname);
+}
+
+Status FaultInjectionEnv::RemoveDir(const std::string& dirname) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!active_) {
+      return Status::IOError("injected: filesystem inactive", dirname);
+    }
+  }
+  return EnvWrapper::RemoveDir(dirname);
+}
+
+Status FaultInjectionEnv::Truncate(const std::string& fname, uint64_t size) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!active_) {
+      return Status::IOError("injected: filesystem inactive", fname);
+    }
+  }
+  Status s = EnvWrapper::Truncate(fname, size);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(fname);
+    if (it != files_.end()) {
+      it->second.size = std::min(it->second.size, size);
+      it->second.synced_size = std::min(it->second.synced_size, size);
+    }
+  }
+  return s;
+}
+
+}  // namespace iamdb

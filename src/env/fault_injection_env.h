@@ -1,0 +1,125 @@
+// Crash- and fault-injection Env.  Wraps any target Env and tracks, per
+// file, how many bytes have been written but not yet Sync()ed, so a test
+// can simulate the two halves of a crash:
+//
+//   1. SetFilesystemActive(false)        — the instant of the crash: every
+//      mutating operation starts failing (reads keep working so in-flight
+//      background work drains with errors instead of hanging);
+//   2. DropUnsyncedFileData() / DropRandomUnsyncedFileData() /
+//      DeleteFilesCreatedAfterLastDirSync() — the state the disk is left
+//      in: unsynced tails truncated away (exactly, or to a seeded random
+//      tear point), and files whose creation was never made durable
+//      removed entirely.
+//
+// The durability model matches a journaled POSIX filesystem: a successful
+// WritableFile::Sync() persists both the file's bytes and its directory
+// entry; a rename of a synced file is durable.  Files created since the
+// last MarkDirSynced() that were never synced are lost by a crash.
+//
+// Independent of crash simulation, deterministic per-op error schedules
+// (write/sync/rename/allocate) and a write-budget countdown let tests
+// exercise error-path handling with seed-exact replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+#include "util/random.h"
+
+namespace iamdb {
+
+// Operation classes an error schedule can target (bitmask).
+enum FaultOp : uint32_t {
+  kFaultWrite = 1u << 0,     // WritableFile::Append
+  kFaultSync = 1u << 1,      // WritableFile::Sync
+  kFaultRename = 1u << 2,    // Env::RenameFile
+  kFaultAllocate = 1u << 3,  // NewWritableFile / NewAppendableFile
+};
+
+class FaultInjectionEnv : public EnvWrapper {
+ public:
+  explicit FaultInjectionEnv(Env* target) : EnvWrapper(target) {}
+
+  // ---- crash simulation ----
+
+  void SetFilesystemActive(bool active);
+  bool IsFilesystemActive() const;
+
+  // Truncates every tracked file back to its last synced size.
+  Status DropUnsyncedFileData();
+
+  // Truncates each tracked file to a seeded random point within its
+  // unsynced tail (a torn write: some prefix of the unsynced bytes made it
+  // to the platter).
+  Status DropRandomUnsyncedFileData(Random64* rng);
+
+  // Removes files created since the last MarkDirSynced() whose directory
+  // entry was never made durable (no successful Sync() yet).
+  Status DeleteFilesCreatedAfterLastDirSync();
+
+  // Declares the directory durable as-is (call after a clean DB::Open).
+  void MarkDirSynced();
+
+  // ---- deterministic error schedules ----
+
+  // Ops in `mask` fail with probability 1/one_in, driven by `seed` for
+  // exact replay.  max_failures bounds the total injected failures
+  // (0 = unlimited).  one_in == 0 disables the schedule.
+  void SetErrorSchedule(uint32_t mask, uint64_t seed, uint32_t one_in,
+                        uint64_t max_failures = 0);
+  void ClearErrorSchedule();
+
+  // Write-path budget: allocate/write/sync operations succeed until
+  // `budget` of them have been charged, then all fail until Heal().
+  void SetWriteBudget(int64_t budget);
+
+  // Clears the budget and error schedule and reactivates the filesystem.
+  void Heal();
+
+  // Bytes currently written-but-unsynced across all tracked files.
+  uint64_t UnsyncedBytes() const;
+
+  // ---- Env overrides ----
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status Truncate(const std::string& fname, uint64_t size) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  struct FileState {
+    uint64_t size = 0;         // bytes appended so far
+    uint64_t synced_size = 0;  // durable prefix
+    bool created_since_dir_sync = false;
+  };
+
+  // Returns the injected error for `op` on `ctx`, or OK.  Charges the
+  // budget and advances the schedule RNG (so replay is exact).
+  Status MaybeInject(FaultOp op, const std::string& ctx);
+
+  void RecordAppend(const std::string& fname, uint64_t n);
+  void RecordSync(const std::string& fname);
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  bool active_ = true;
+  int64_t budget_ = -1;  // <0: no budget armed
+  uint32_t schedule_mask_ = 0;
+  uint32_t schedule_one_in_ = 0;
+  uint64_t schedule_failures_left_ = 0;  // 0 with mask set = unlimited
+  bool schedule_bounded_ = false;
+  Random64 schedule_rng_{0};
+};
+
+}  // namespace iamdb

@@ -37,12 +37,12 @@ class MemEnv final : public Env {
   uint64_t NowMicros() override;
   void SleepForMicroseconds(int micros) override;
 
-  // Total bytes currently stored across all files (space-usage accounting).
-  uint64_t TotalBytes();
-
   // Truncate a file to `size` bytes; simulates a crash that tore the tail
   // off a log (failure-injection tests).
-  Status Truncate(const std::string& fname, uint64_t size);
+  Status Truncate(const std::string& fname, uint64_t size) override;
+
+  // Total bytes currently stored across all files (space-usage accounting).
+  uint64_t TotalBytes();
 
  private:
   struct FileState {

@@ -202,6 +202,16 @@ class PosixEnv final : public Env {
     return Status::OK();
   }
 
+  Status Truncate(const std::string& fname, uint64_t size) override {
+    struct ::stat st;
+    if (::stat(fname.c_str(), &st) != 0) return PosixError(fname, errno);
+    if (static_cast<uint64_t>(st.st_size) <= size) return Status::OK();
+    if (::truncate(fname.c_str(), static_cast<off_t>(size)) != 0) {
+      return PosixError(fname, errno);
+    }
+    return Status::OK();
+  }
+
   uint64_t NowMicros() override {
     return std::chrono::duration_cast<std::chrono::microseconds>(
                std::chrono::steady_clock::now().time_since_epoch())

@@ -1,0 +1,55 @@
+#include "util/sync_point.h"
+
+namespace iamdb {
+
+SyncPoint* SyncPoint::Instance() {
+  static SyncPoint instance;
+  return &instance;
+}
+
+void SyncPoint::EnableProcessing() {
+  enabled_.store(true, std::memory_order_release);
+}
+
+void SyncPoint::DisableProcessing() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+void SyncPoint::SetCallback(const std::string& point,
+                            std::function<void(void*)> callback) {
+  std::lock_guard<std::mutex> l(mu_);
+  callbacks_[point] = std::move(callback);
+}
+
+void SyncPoint::ClearCallback(const std::string& point) {
+  std::lock_guard<std::mutex> l(mu_);
+  callbacks_.erase(point);
+}
+
+void SyncPoint::Reset() {
+  DisableProcessing();
+  std::lock_guard<std::mutex> l(mu_);
+  callbacks_.clear();
+  hits_.clear();
+}
+
+uint64_t SyncPoint::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+void SyncPoint::Process(const char* point, void* arg) {
+  if (!enabled_.load(std::memory_order_acquire)) return;
+  std::function<void(void*)> callback;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    hits_[point]++;
+    auto it = callbacks_.find(std::string_view(point));
+    if (it != callbacks_.end()) callback = it->second;
+  }
+  // Run outside the lock so the callback can use the SyncPoint API.
+  if (callback) callback(arg);
+}
+
+}  // namespace iamdb

@@ -1,0 +1,69 @@
+// Named test hooks on the durability-critical paths (WAL append, memtable
+// flush install, manifest rewrite).  A test registers a callback on a point
+// — e.g. to deactivate a FaultInjectionEnv, simulating a crash at exactly
+// that instruction — and the production code stays branch-free when the
+// hooks are compiled out (plain Release builds; see IAMDB_SYNC_POINTS in
+// the top-level CMakeLists).
+//
+// Naming convention: "Class::Method:Event", e.g.
+// "DBImpl::Write:AfterWalAppend".  docs/TESTING.md lists every planted
+// point; tests/crash_consistency_test.cc is the canonical consumer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace iamdb {
+
+class SyncPoint {
+ public:
+  static SyncPoint* Instance();
+
+  // Callbacks only run (and hits only count) while processing is enabled.
+  void EnableProcessing();
+  void DisableProcessing();
+
+  // Registers `callback` to run each time `point` is processed.  The
+  // callback runs on whatever thread hits the point, outside the registry
+  // lock, so it may re-enter the SyncPoint API (but must not block on work
+  // that itself needs to pass the same point).
+  void SetCallback(const std::string& point,
+                   std::function<void(void*)> callback);
+  void ClearCallback(const std::string& point);
+
+  // Clears every callback and hit counter and disables processing.
+  void Reset();
+
+  // Times `point` was processed since the last Reset (while enabled).
+  uint64_t HitCount(const std::string& point) const;
+
+  // Called by the IAMDB_SYNC_POINT macro; not for direct use.
+  void Process(const char* point, void* arg = nullptr);
+
+ private:
+  SyncPoint() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::function<void(void*)>, std::less<>> callbacks_;
+  std::map<std::string, uint64_t, std::less<>> hits_;
+};
+
+}  // namespace iamdb
+
+#ifdef IAMDB_SYNC_POINTS
+#define IAMDB_SYNC_POINT(name) ::iamdb::SyncPoint::Instance()->Process(name)
+#define IAMDB_SYNC_POINT_ARG(name, arg) \
+  ::iamdb::SyncPoint::Instance()->Process(name, arg)
+#else
+#define IAMDB_SYNC_POINT(name) \
+  do {                         \
+  } while (0)
+#define IAMDB_SYNC_POINT_ARG(name, arg) \
+  do {                                  \
+  } while (0)
+#endif

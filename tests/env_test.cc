@@ -2,11 +2,14 @@
 // CountingEnv instrumentation and the device model arithmetic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <vector>
 
 #include "env/counting_env.h"
 #include "env/env.h"
+#include "env/fault_injection_env.h"
 #include "env/mem_env.h"
 #include "stats/amp_stats.h"
 #include "stats/device_model.h"
@@ -302,6 +305,115 @@ TEST(AmpStatsTest, LevelClamping) {
   amp.RecordLevelWrite(99, WriteReason::kFlush, 20);
   EXPECT_EQ(10u, amp.level_bytes(0));
   EXPECT_EQ(20u, amp.level_bytes(AmpStats::kMaxLevels - 1));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv: unsynced-byte tracking and crash semantics.
+
+class FaultInjectionEnvTest : public testing::Test {
+ protected:
+  FaultInjectionEnvTest() : fault_(&mem_) {}
+
+  std::string ReadAll(const std::string& fname) {
+    std::string contents;
+    EXPECT_TRUE(ReadFileToString(&fault_, fname, &contents).ok());
+    return contents;
+  }
+
+  MemEnv mem_;
+  FaultInjectionEnv fault_;
+};
+
+TEST_F(FaultInjectionEnvTest, DropUnsyncedKeepsSyncedPrefix) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault_.NewWritableFile("/f", &f).ok());
+  ASSERT_TRUE(f->Append("durable").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("-lost").ok());
+  EXPECT_EQ(5u, fault_.UnsyncedBytes());
+
+  ASSERT_TRUE(fault_.DropUnsyncedFileData().ok());
+  EXPECT_EQ(0u, fault_.UnsyncedBytes());
+  EXPECT_EQ("durable", ReadAll("/f"));
+}
+
+TEST_F(FaultInjectionEnvTest, RandomDropTearsInsideUnsyncedTail) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault_.NewWritableFile("/f", &f).ok());
+  ASSERT_TRUE(f->Append("sync").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("0123456789").ok());
+
+  Random64 rng(42);
+  ASSERT_TRUE(fault_.DropRandomUnsyncedFileData(&rng).ok());
+  std::string contents = ReadAll("/f");
+  ASSERT_GE(contents.size(), 4u);
+  ASSERT_LE(contents.size(), 14u);
+  EXPECT_EQ("sync", contents.substr(0, 4));
+  EXPECT_EQ(std::string("0123456789").substr(0, contents.size() - 4),
+            contents.substr(4));
+}
+
+TEST_F(FaultInjectionEnvTest, DeleteFilesCreatedAfterLastDirSync) {
+  // Synced file created after the dir sync marker: its directory entry
+  // became durable with the sync.
+  fault_.MarkDirSynced();
+  std::unique_ptr<WritableFile> synced;
+  ASSERT_TRUE(fault_.NewWritableFile("/synced", &synced).ok());
+  ASSERT_TRUE(synced->Append("x").ok());
+  ASSERT_TRUE(synced->Sync().ok());
+  // Never-synced file: the crash loses it entirely.
+  std::unique_ptr<WritableFile> lost;
+  ASSERT_TRUE(fault_.NewWritableFile("/lost", &lost).ok());
+  ASSERT_TRUE(lost->Append("y").ok());
+
+  ASSERT_TRUE(fault_.DeleteFilesCreatedAfterLastDirSync().ok());
+  EXPECT_TRUE(fault_.FileExists("/synced"));
+  EXPECT_FALSE(fault_.FileExists("/lost"));
+}
+
+TEST_F(FaultInjectionEnvTest, InactiveFilesystemFailsWritesNotReads) {
+  ASSERT_TRUE(WriteStringToFile(&fault_, "v", "/f", true).ok());
+  fault_.SetFilesystemActive(false);
+
+  std::unique_ptr<WritableFile> w;
+  EXPECT_FALSE(fault_.NewWritableFile("/g", &w).ok());
+  EXPECT_FALSE(fault_.RemoveFile("/f").ok());
+  EXPECT_FALSE(fault_.RenameFile("/f", "/h").ok());
+  EXPECT_EQ("v", ReadAll("/f"));  // reads still work
+
+  fault_.Heal();
+  EXPECT_TRUE(fault_.IsFilesystemActive());
+  EXPECT_TRUE(fault_.NewWritableFile("/g", &w).ok());
+}
+
+TEST_F(FaultInjectionEnvTest, ErrorScheduleIsSeedDeterministic) {
+  // Same seed -> identical injected-failure sequence.
+  std::vector<bool> runs[2];
+  for (int run = 0; run < 2; run++) {
+    fault_.Heal();
+    fault_.SetErrorSchedule(kFaultWrite, /*seed=*/123, /*one_in=*/3);
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(fault_.NewWritableFile("/sched" + std::to_string(run), &f)
+                    .ok());
+    for (int i = 0; i < 64; i++) runs[run].push_back(f->Append("x").ok());
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_NE(std::count(runs[0].begin(), runs[0].end(), false), 0);
+  fault_.ClearErrorSchedule();
+}
+
+TEST_F(FaultInjectionEnvTest, RenameMovesTrackedState) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault_.NewWritableFile("/a", &f).ok());
+  ASSERT_TRUE(f->Append("keep").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("-drop").ok());
+  f.reset();
+
+  ASSERT_TRUE(fault_.RenameFile("/a", "/b").ok());
+  ASSERT_TRUE(fault_.DropUnsyncedFileData().ok());
+  EXPECT_EQ("keep", ReadAll("/b"));
 }
 
 }  // namespace

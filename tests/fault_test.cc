@@ -1,70 +1,17 @@
-// Failure-injection tests: an Env that starts failing writes after a
-// budget is exhausted.  The database must surface errors (not corrupt
+// Failure-injection tests: FaultInjectionEnv starts failing writes after
+// a budget is exhausted.  The database must surface errors (not corrupt
 // state), keep already-durable data readable, and recover fully once the
 // fault clears and the store is reopened.
 #include <gtest/gtest.h>
 
-#include <atomic>
-
 #include "core/db.h"
-#include "env/env.h"
+#include "env/fault_injection_env.h"
 #include "env/mem_env.h"
+#include "test_seed.h"
 #include "util/random.h"
 
 namespace iamdb {
 namespace {
-
-// Fails every write-path operation once `budget` writes have happened.
-class FaultyEnv final : public EnvWrapper {
- public:
-  explicit FaultyEnv(Env* target) : EnvWrapper(target) {}
-
-  void SetWriteBudget(int64_t budget) {
-    budget_.store(budget, std::memory_order_relaxed);
-  }
-  void Heal() { budget_.store(INT64_MAX, std::memory_order_relaxed); }
-  bool Charge() {
-    return budget_.fetch_sub(1, std::memory_order_relaxed) > 0;
-  }
-
-  Status NewWritableFile(const std::string& f,
-                         std::unique_ptr<WritableFile>* r) override {
-    if (!Charge()) return Status::IOError("injected: create", f);
-    Status s = EnvWrapper::NewWritableFile(f, r);
-    if (s.ok()) *r = std::make_unique<FaultyWritableFile>(std::move(*r), this);
-    return s;
-  }
-  Status NewAppendableFile(const std::string& f,
-                           std::unique_ptr<WritableFile>* r) override {
-    if (!Charge()) return Status::IOError("injected: append-open", f);
-    Status s = EnvWrapper::NewAppendableFile(f, r);
-    if (s.ok()) *r = std::make_unique<FaultyWritableFile>(std::move(*r), this);
-    return s;
-  }
-
- private:
-  class FaultyWritableFile final : public WritableFile {
-   public:
-    FaultyWritableFile(std::unique_ptr<WritableFile> target, FaultyEnv* env)
-        : target_(std::move(target)), env_(env) {}
-    Status Append(const Slice& data) override {
-      if (!env_->Charge()) return Status::IOError("injected: write");
-      return target_->Append(data);
-    }
-    Status Close() override { return target_->Close(); }
-    Status Flush() override { return target_->Flush(); }
-    Status Sync() override {
-      if (!env_->Charge()) return Status::IOError("injected: sync");
-      return target_->Sync();
-    }
-
-   private:
-    std::unique_ptr<WritableFile> target_;
-    FaultyEnv* env_;
-  };
-
-  std::atomic<int64_t> budget_{INT64_MAX};
-};
 
 class FaultTest : public testing::TestWithParam<EngineType> {
  protected:
@@ -89,7 +36,7 @@ class FaultTest : public testing::TestWithParam<EngineType> {
   }
 
   MemEnv mem_;
-  FaultyEnv faulty_;
+  FaultInjectionEnv faulty_;
 };
 
 TEST_P(FaultTest, WalWriteFailureSurfacesToCaller) {
@@ -101,6 +48,27 @@ TEST_P(FaultTest, WalWriteFailureSurfacesToCaller) {
   Status s = db->Put(WriteOptions(), "during", "fails");
   EXPECT_FALSE(s.ok());
   faulty_.Heal();
+}
+
+TEST_P(FaultTest, ScheduledSyncFaultSurfacesAndClears) {
+  const uint64_t seed = test::TestSeed(11);
+  SCOPED_TRACE(test::SeedTrace(seed));
+  Options options = MakeOptions();
+  options.sync_wal = true;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  // Every sync fails (one_in=1) but only once; the error must surface on
+  // exactly one write, then the store keeps working.
+  faulty_.SetErrorSchedule(kFaultSync, seed, /*one_in=*/1, /*max_failures=*/1);
+  Status s = db->Put(WriteOptions(), "k1", "v1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("injected"), std::string::npos) << s.ToString();
+  faulty_.ClearErrorSchedule();
+  EXPECT_TRUE(db->Put(WriteOptions(), "k2", "v2").ok());
+  std::string got;
+  EXPECT_TRUE(db->Get(ReadOptions(), "k2", &got).ok());
+  EXPECT_EQ("v2", got);
 }
 
 TEST_P(FaultTest, CompactionFailureDoesNotLoseDurableData) {
@@ -139,7 +107,9 @@ TEST_P(FaultTest, CompactionFailureDoesNotLoseDurableData) {
 }
 
 TEST_P(FaultTest, RepeatedFaultCycles) {
-  Random64 rnd(3);
+  const uint64_t seed = test::TestSeed(3);
+  SCOPED_TRACE(test::SeedTrace(seed));
+  Random64 rnd(seed);
   std::string value(100, 'v');
   std::map<std::string, std::string> durable;  // settled before each fault
   for (int cycle = 0; cycle < 3; cycle++) {

@@ -15,6 +15,7 @@
 #include "table/block_builder.h"
 #include "table/bloom.h"
 #include "table/mstable.h"
+#include "test_seed.h"
 #include "util/random.h"
 
 namespace iamdb {
@@ -34,7 +35,9 @@ class BlockSweepTest
 
 TEST_P(BlockSweepTest, RoundTripAndSeek) {
   const auto [num_entries, restart_interval] = GetParam();
-  Random rnd(num_entries * 31 + restart_interval);
+  const uint64_t seed = test::TestSeed(num_entries * 31 + restart_interval);
+  SCOPED_TRACE(test::SeedTrace(seed));
+  Random rnd(static_cast<uint32_t>(seed));
   std::map<std::string, std::string> model;
   for (int i = 0; i < num_entries; i++) {
     model[IKey("key" + std::to_string(rnd.Uniform(100000) + 100000), 5)] =
@@ -129,7 +132,9 @@ TEST_P(MSTableSweepTest, MultiAppendModelCheck) {
   std::map<std::string, std::string> model;
   uint64_t meta_end = 0;
   SequenceNumber seq = 1;
-  Random rnd(block_size + num_appends);
+  const uint64_t seed = test::TestSeed(block_size + num_appends);
+  SCOPED_TRACE(test::SeedTrace(seed));
+  Random rnd(static_cast<uint32_t>(seed));
 
   for (int append = 0; append <= num_appends; append++) {
     std::map<std::string, std::string> batch;
@@ -231,7 +236,9 @@ TEST_P(DbSweepTest, ModelCheckWithReopen) {
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
 
-  Random64 rnd(param.value_size * 131 + param.pattern);
+  const uint64_t seed = test::TestSeed(param.value_size * 131 + param.pattern);
+  SCOPED_TRACE(test::SeedTrace(seed));
+  Random64 rnd(seed);
   std::map<std::string, std::string> model;
   const int ops = 12000;
   for (int i = 0; i < ops; i++) {
@@ -288,7 +295,9 @@ TEST_P(FanoutSweepTest, InvariantsAndReadsAcrossFanouts) {
 
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
-  Random64 rnd(fanout);
+  const uint64_t seed = test::TestSeed(fanout);
+  SCOPED_TRACE(test::SeedTrace(seed));
+  Random64 rnd(seed);
   std::string value(64, 'v');
   for (int i = 0; i < 15000; i++) {
     char key[32];

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/db.h"
+#include "env/fault_injection_env.h"
 #include "env/mem_env.h"
 #include "memtable/write_batch.h"
 #include "server/client.h"
@@ -558,6 +559,56 @@ TEST(WireProtocolTest, DecodeFrameEdgeCases) {
   tiny.append(16, '\0');
   EXPECT_EQ(wire::FrameResult::kTooLarge,
             wire::DecodeFrame(tiny.data(), tiny.size(), &body, &consumed));
+}
+
+// ---------------------------------------------------------------------------
+// Server over FaultInjectionEnv: a WAL sync failure must surface to the
+// client as a decoded ERROR status on that request — not a dropped
+// connection — and the session must keep working once the fault clears.
+
+TEST(ServerFaultTest, WalSyncFailureSurfacesAsErrorFrame) {
+  MemEnv mem;
+  FaultInjectionEnv fault(&mem);
+  Options options;
+  options.env = &fault;
+  options.node_capacity = 64 << 10;
+  options.table.block_size = 1024;
+  options.amt.fanout = 4;
+  options.sync_wal = true;  // every Put syncs, so a sync fault hits it
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/srv", &db).ok());
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.num_workers = 2;
+  Server server(db.get(), server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions client_options;
+  client_options.port = server.port();
+  client_options.connect_retries = 1;
+  Client client(client_options);
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.Put("before", "ok").ok());
+
+  // Exactly one injected sync failure: the in-flight Put must come back
+  // as a non-OK decoded status carrying the injection message.
+  fault.SetErrorSchedule(kFaultSync, /*seed=*/7, /*one_in=*/1,
+                         /*max_failures=*/1);
+  Status s = client.Put("during", "fails");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("injected"), std::string::npos) << s.ToString();
+  fault.ClearErrorSchedule();
+
+  // Same connection, not a reconnect: the session stayed up.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.Put("after", "ok").ok());
+  std::string got;
+  EXPECT_TRUE(client.Get("after", &got).ok());
+  EXPECT_EQ("ok", got);
+  EXPECT_TRUE(client.Get("during", &got).IsNotFound());
+
+  server.Stop();
 }
 
 }  // namespace

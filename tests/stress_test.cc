@@ -8,6 +8,7 @@
 #include "core/db.h"
 #include "core/filename.h"
 #include "env/mem_env.h"
+#include "test_seed.h"
 #include "util/random.h"
 
 namespace iamdb {
@@ -48,7 +49,9 @@ class StressTest : public testing::TestWithParam<StressParam> {
 };
 
 TEST_P(StressTest, OperationStormWithReopens) {
-  Random64 rnd(GetParam().threads * 7 + 1);
+  const uint64_t seed = test::TestSeed(GetParam().threads * 7 + 1);
+  SCOPED_TRACE(test::SeedTrace(seed));
+  Random64 rnd(seed);
   std::map<std::string, std::string> model;
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
@@ -140,7 +143,9 @@ TEST_P(StressTest, OperationStormWithReopens) {
 }
 
 TEST_P(StressTest, SnapshotPinningUnderChurn) {
-  Random64 rnd(99);
+  const uint64_t seed = test::TestSeed(99);
+  SCOPED_TRACE(test::SeedTrace(seed));
+  Random64 rnd(seed);
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open(MakeOptions(), "/db2", &db).ok());
 

@@ -1,0 +1,37 @@
+// Seed plumbing for randomized tests.  Suites derive their random streams
+// from TestSeed(default) and wrap bodies in SCOPED_TRACE(SeedTrace(seed)),
+// so any failure prints the seed it ran with, and setting
+//   IAMDB_TEST_SEED=<n>
+// replays the exact same history (docs/TESTING.md, "Reproducing a seeded
+// failure").
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace iamdb {
+namespace test {
+
+// True (and *seed overwritten) when IAMDB_TEST_SEED is set.
+inline bool SeedOverridden(uint64_t* seed) {
+  const char* value = std::getenv("IAMDB_TEST_SEED");
+  if (value == nullptr || *value == '\0') return false;
+  *seed = std::strtoull(value, nullptr, 10);
+  return true;
+}
+
+inline uint64_t TestSeed(uint64_t default_seed) {
+  uint64_t seed = default_seed;
+  SeedOverridden(&seed);
+  return seed;
+}
+
+// Attach via SCOPED_TRACE so failures print the replay recipe.
+inline std::string SeedTrace(uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         " (replay with IAMDB_TEST_SEED=" + std::to_string(seed) + ")";
+}
+
+}  // namespace test
+}  // namespace iamdb
