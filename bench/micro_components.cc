@@ -164,12 +164,13 @@ void BM_CacheLookup(benchmark::State& state) {
   LruCache cache(64 << 20);
   const int n = 10000;
   for (int i = 0; i < n; i++) {
-    cache.Insert("key" + std::to_string(i),
+    cache.Insert(BlockCacheKey{static_cast<uint64_t>(i), 4096},
                  std::make_shared<const int>(i), 4096);
   }
   Random rnd(3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.Lookup("key" + std::to_string(rnd.Uniform(n))));
+    benchmark::DoNotOptimize(
+        cache.Lookup(BlockCacheKey{rnd.Uniform(n), 4096}));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -87,7 +87,7 @@ void SortByRange(std::vector<NodePtr>* nodes) {
 }  // namespace
 
 AmtEngine::AmtEngine(DBImpl* db) : db_(db) {
-  current_.store(
+  current_.Store(
       std::make_shared<const TreeVersion>(std::vector<std::vector<NodePtr>>()));
   RecomputeMixedLevel();
 }
@@ -100,7 +100,7 @@ Status AmtEngine::Recover(const RecoveredState& state) {
     }
     SortByRange(&levels[level]);
   }
-  current_.store(std::make_shared<const TreeVersion>(std::move(levels)));
+  current_.Store(std::make_shared<const TreeVersion>(std::move(levels)));
   RecomputeMixedLevel();
   return Status::OK();
 }
@@ -370,7 +370,7 @@ void AmtEngine::ApplyToVersion(
     levels[level].push_back(node);
   }
   for (auto& nodes : levels) SortByRange(&nodes);
-  current_.store(std::make_shared<const TreeVersion>(std::move(levels)));
+  current_.Store(std::make_shared<const TreeVersion>(std::move(levels)));
   RecomputeMixedLevel();
 }
 

@@ -36,6 +36,7 @@
 #include "core/compaction_stream.h"
 #include "core/tree_engine.h"
 #include "stats/amp_stats.h"
+#include "util/published_ptr.h"
 
 namespace iamdb {
 
@@ -55,7 +56,7 @@ class AmtEngine final : public TreeEngine {
   WritePressure GetWritePressure() const override;
   void FillStats(DbStats* stats) const override;
   TreeVersionPtr current_version() const override {
-    return current_.load(std::memory_order_acquire);
+    return current_.Snapshot();
   }
   Status CheckInvariants(bool quiescent) const override;
 
@@ -125,7 +126,9 @@ class AmtEngine final : public TreeEngine {
                         const std::string& hi) const;
 
   DBImpl* db_;
-  std::atomic<TreeVersionPtr> current_;
+  // Stores happen at open time or under the DB mutex (ApplyToVersion) —
+  // the serialization PublishedPtr requires.  Reads take an epoch guard.
+  PublishedPtr<const TreeVersion> current_;
   std::set<uint64_t> busy_nodes_;  // node ids owned by running jobs
   bool imm_flush_running_ = false;
   // Written under the DB mutex; read lock-free from reads/stats/flushes.

@@ -13,6 +13,17 @@
 
 namespace iamdb {
 
+ReadView::ReadView(MemTable* m, MemTable* i, SequenceNumber seq)
+    : mem(m), imm(i), last_sequence(seq) {
+  mem->Ref();
+  if (imm != nullptr) imm->Ref();
+}
+
+ReadView::~ReadView() {
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+}
+
 // Group-commit queue entry.
 struct WriterItem {
   Status status;
@@ -164,7 +175,7 @@ Status DBImpl::Recover() {
   if (!s.ok()) return s;
   next_file_number_ = recovered_.next_file_number;
   next_node_id_ = recovered_.next_node_id;
-  last_sequence_ = recovered_.last_sequence;
+  last_sequence_.store(recovered_.last_sequence, std::memory_order_relaxed);
 
   // Replay WALs at or after the recorded log number, oldest first.
   std::vector<std::string> children;
@@ -182,7 +193,7 @@ Status DBImpl::Recover() {
 
   mem_ = new MemTable();
   mem_->Ref();
-  SequenceNumber max_sequence = last_sequence_;
+  SequenceNumber max_sequence = last_sequence_.load(std::memory_order_relaxed);
   for (uint64_t log_number : logs) {
     s = ReplayWal(log_number, &max_sequence);
     if (!s.ok()) return s;
@@ -190,7 +201,9 @@ Status DBImpl::Recover() {
     // Keep replayed WALs until the recovered data is flushed.
     old_log_numbers_.insert(log_number);
   }
-  last_sequence_ = std::max(last_sequence_, max_sequence);
+  if (max_sequence > last_sequence_.load(std::memory_order_relaxed)) {
+    last_sequence_.store(max_sequence, std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 
@@ -240,7 +253,7 @@ Status DBImpl::WriteSnapshotManifest() {
   base.SetLogNumber(oldest_live_log);
   base.SetNextFileNumber(next_file_number_ + 1);  // reserve manifest number
   base.SetNextNodeId(next_node_id_);
-  base.SetLastSequence(last_sequence_);
+  base.SetLastSequence(last_sequence_.load(std::memory_order_relaxed));
   TreeVersionPtr version = engine_->current_version();
   base.SetNumLevels(version->num_levels());
   for (int level = 0; level < version->num_levels(); level++) {
@@ -374,7 +387,17 @@ Status DBImpl::SwitchMemTable() {
   }
   mem_ = new MemTable();
   mem_->Ref();
+  PublishReadView();
   return Status::OK();
+}
+
+void DBImpl::PublishReadView() {
+  // mutex_ held (which is what serializes PublishedPtr::Store callers).
+  // The release pointer swap inside Store makes the new memtable pointers
+  // visible to any reader whose Acquire observes this view; superseded
+  // views are reclaimed by epoch, never under a reader.
+  read_view_.Store(std::make_shared<const ReadView>(
+      mem_, imm_, last_sequence_.load(std::memory_order_relaxed)));
 }
 
 Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
@@ -460,7 +483,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   if (w.done) return w.status;
 
   Status status = MakeRoomForWrite(l);
-  SequenceNumber last_sequence = last_sequence_;
+  // Only the front writer (under mutex_) mutates last_sequence_, so a
+  // relaxed load here sees the latest value.
+  SequenceNumber last_sequence =
+      last_sequence_.load(std::memory_order_relaxed);
   WriterItem* last_writer = &w;
   if (status.ok()) {
     WriteBatch* write_batch = BuildBatchGroup(&last_writer);
@@ -487,7 +513,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       l.lock();
     }
     if (write_batch == &group_batch_) group_batch_.Clear();
-    last_sequence_ = last_sequence;
+    // Release-publish AFTER the memtable insert: a reader that acquires a
+    // sequence S from last_sequence_ is guaranteed to find every entry at
+    // or below S in the (view's) memtables or the engine.
+    last_sequence_.store(last_sequence, std::memory_order_release);
   }
 
   while (true) {
@@ -509,49 +538,44 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
 // ---------------------------------------------------------------------------
 // Read path
 
+// Lock-free: acquires no lock the write path takes.  Ordering contract
+// (docs/CONCURRENCY.md): load the snapshot sequence FIRST, the view second.
+// Data only ever moves "down" (mem -> imm -> engine version), and each stage
+// is installed before the previous one is retired, so consulting stages in
+// the order mem, imm, engine — each loaded at or after the sequence load —
+// can never miss an entry at or below the loaded sequence.
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
-  MemTable* mem;
-  MemTable* imm;
-  SequenceNumber snapshot;
-  {
-    std::lock_guard<std::mutex> l(mutex_);
-    snapshot = options.snapshot != nullptr
-                   ? static_cast<const SnapshotImpl*>(options.snapshot)
-                         ->sequence()
-                   : last_sequence_;
-    mem = mem_;
-    imm = imm_;
-    mem->Ref();
-    if (imm != nullptr) imm->Ref();
-  }
+  const SequenceNumber snapshot =
+      options.snapshot != nullptr
+          ? static_cast<const SnapshotImpl*>(options.snapshot)->sequence()
+          : last_sequence_.load(std::memory_order_acquire);
 
   LookupKey lkey(key, snapshot);
   Status s;
-  bool found = false;
-  if (mem->Get(lkey, value, &s)) {
-    found = true;
-  } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
-    found = true;
+  {
+    // Epoch guard, not a refcount: the view (and the memtable references
+    // it pins) stays alive while the guard is held.  Dropped before the
+    // engine probe so block I/O never delays view reclamation.
+    auto view = read_view_.Acquire();
+    if (view->mem->Get(lkey, value, &s)) return s;
+    if (view->imm != nullptr && view->imm->Get(lkey, value, &s)) return s;
   }
-  if (!found) {
-    s = engine_->Get(options, lkey, value);
-  }
-
-  mem->Unref();
-  if (imm != nullptr) imm->Unref();
-  return s;
+  return engine_->Get(options, lkey, value);
 }
 
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
                                       SequenceNumber* latest_snapshot) {
+  // Same ordering as Get: sequence before view (see above).
+  *latest_snapshot = last_sequence_.load(std::memory_order_acquire);
   std::vector<Iterator*> iters;
   {
-    std::lock_guard<std::mutex> l(mutex_);
-    *latest_snapshot = last_sequence_;
-    iters.push_back(mem_->NewIterator());  // MemTableIterator refs the table
-    if (imm_ != nullptr) {
-      iters.push_back(imm_->NewIterator());
+    // The guard only needs to outlive iterator construction: each
+    // MemTableIterator takes its own reference on the table.
+    auto view = read_view_.Acquire();
+    iters.push_back(view->mem->NewIterator());
+    if (view->imm != nullptr) {
+      iters.push_back(view->imm->NewIterator());
     }
   }
   engine_->AddIterators(options, &iters);
@@ -570,12 +594,15 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
-  std::lock_guard<std::mutex> l(mutex_);
-  return snapshots_.New(last_sequence_);
+  // snapshots_mu_ only: snapshot creation/release never contends with the
+  // writer queue.  The sequence is loaded inside the lock so concurrent
+  // GetSnapshot calls insert in monotone order (SnapshotList requires it).
+  std::lock_guard<std::mutex> l(snapshots_mu_);
+  return snapshots_.New(last_sequence_.load(std::memory_order_acquire));
 }
 
 void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
-  std::lock_guard<std::mutex> l(mutex_);
+  std::lock_guard<std::mutex> l(snapshots_mu_);
   snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
 }
 
@@ -624,11 +651,16 @@ void DBImpl::BackgroundCall() {
 }
 
 void DBImpl::ImmFlushed() {
-  // Mutex held by caller (engine).
+  // Mutex held by caller (engine).  The engine has already installed the
+  // tree version containing the imm's data, so the view published here
+  // (without the imm) still lets readers find everything: a reader that
+  // sees the new view synchronizes with this thread and therefore also
+  // sees the new engine version.
   if (imm_ != nullptr) {
     imm_->Unref();
     imm_ = nullptr;
   }
+  PublishReadView();
   IAMDB_SYNC_POINT("DBImpl::ImmFlushed:BeforeWalRemove");
   // WALs older than the current log are covered by flushed data.
   for (uint64_t old : old_log_numbers_) {
@@ -641,7 +673,7 @@ void DBImpl::ImmFlushed() {
 Status DBImpl::LogEdit(VersionEdit* edit) {
   edit->SetNextFileNumber(next_file_number_);
   edit->SetNextNodeId(next_node_id_);
-  edit->SetLastSequence(last_sequence_);
+  edit->SetLastSequence(last_sequence_.load(std::memory_order_relaxed));
   IAMDB_SYNC_POINT("DBImpl::LogEdit:BeforeManifestAppend");
   // Always synced: edits gate the deletion of the WALs and input tables
   // that carry the same data, so an unsynced edit could lose acknowledged
@@ -725,9 +757,9 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   if (property == Slice("iamdb.approximate-memory-usage")) {
     uint64_t total = block_cache_->usage();
     {
-      std::lock_guard<std::mutex> l(mutex_);
-      total += mem_->ApproximateMemoryUsage();
-      if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
+      auto view = read_view_.Acquire();
+      total += view->mem->ApproximateMemoryUsage();
+      if (view->imm != nullptr) total += view->imm->ApproximateMemoryUsage();
     }
     std::snprintf(buf, sizeof(buf), "%llu",
                   static_cast<unsigned long long>(total));

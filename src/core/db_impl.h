@@ -19,12 +19,32 @@
 #include "env/counting_env.h"
 #include "memtable/memtable.h"
 #include "table/cache.h"
+#include "util/published_ptr.h"
 #include "util/thread_pool.h"
 #include "wal/log_writer.h"
 
 namespace iamdb {
 
 struct WriterItem;
+
+// Immutable snapshot of the in-memory read state, swapped atomically so the
+// read hot path never touches the write mutex (mirrors how engines publish
+// TreeVersionPtr).  Holds memtable references for its whole lifetime, so a
+// reader that loaded a view can keep using `mem`/`imm` after rotation or
+// flush retires them.  `last_sequence` is the newest sequence that was
+// visible when the view was installed — readers use the fresher atomic
+// DBImpl counter for their snapshot, the field is a floor for diagnostics.
+struct ReadView {
+  ReadView(MemTable* m, MemTable* i, SequenceNumber seq);
+  ~ReadView();
+
+  ReadView(const ReadView&) = delete;
+  ReadView& operator=(const ReadView&) = delete;
+
+  MemTable* const mem;
+  MemTable* const imm;  // may be null
+  const SequenceNumber last_sequence;
+};
 
 class DBImpl final : public DB {
  public:
@@ -61,9 +81,13 @@ class DBImpl final : public DB {
   uint64_t NewFileNumber() { return next_file_number_++; }   // mutex held
   uint64_t NewNodeId() { return next_node_id_++; }           // mutex held
 
-  // Oldest sequence any live snapshot can observe (mutex held).
+  // Oldest sequence any live snapshot can observe.  Takes snapshots_mu_
+  // internally; callers hold mutex_ (engines), never snapshots_mu_.
   SequenceNumber SmallestSnapshot() const {
-    return snapshots_.empty() ? last_sequence_ : snapshots_.oldest()->sequence();
+    std::lock_guard<std::mutex> l(snapshots_mu_);
+    return snapshots_.empty()
+               ? last_sequence_.load(std::memory_order_acquire)
+               : snapshots_.oldest()->sequence();
   }
 
   // Durably apply an edit (mutex held).  Counters are stamped in.
@@ -83,6 +107,7 @@ class DBImpl final : public DB {
   Status WriteSnapshotManifest();  // fresh MANIFEST with full state
   Status ReplayWal(uint64_t log_number, SequenceNumber* max_sequence);
   Status SwitchMemTable();  // mutex held
+  void PublishReadView();   // mutex held; release-installs {mem_, imm_}
   Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
   WriteBatch* BuildBatchGroup(WriterItem** last_writer);
   void MaybeScheduleBackgroundWork();  // mutex held
@@ -99,23 +124,40 @@ class DBImpl final : public DB {
   std::unique_ptr<LruCache> block_cache_;
   InternalKeyComparator icmp_;
 
+  // mutex_ serializes the WRITE side only: the writer queue, memtable
+  // rotation, background scheduling, and manifest edits.  The read hot path
+  // (Get / NewIterator) never acquires it — readers load read_view_ and
+  // last_sequence_ with acquire semantics (docs/CONCURRENCY.md).
   std::mutex mutex_;
   std::condition_variable bg_cv_;
   std::atomic<bool> shutting_down_{false};
 
-  MemTable* mem_ = nullptr;
+  MemTable* mem_ = nullptr;   // mutated under mutex_; readers use read_view_
   MemTable* imm_ = nullptr;
   std::unique_ptr<WritableFile> log_file_;
   std::unique_ptr<log::Writer> log_;
   uint64_t log_number_ = 0;
   std::set<uint64_t> old_log_numbers_;  // released once imm flushes
 
-  SequenceNumber last_sequence_ = 0;
+  // Lock-free read-path state.  read_view_ is installed under mutex_ (by
+  // rotation and imm release) and read without any lock via epoch guards
+  // (PublishedPtr, util/published_ptr.h); last_sequence_ is
+  // release-published by the front writer after the memtable insert, so an
+  // acquire load observes every entry at or below the loaded sequence.
+  PublishedPtr<const ReadView> read_view_;
+  std::atomic<SequenceNumber> last_sequence_{0};
+
   uint64_t next_file_number_ = 2;
   uint64_t next_node_id_ = 1;
 
   std::deque<WriterItem*> writers_;
   WriteBatch group_batch_;
+
+  // Snapshot bookkeeping has its own small lock so GetSnapshot /
+  // ReleaseSnapshot (and server SCAN setup) never contend with writers.
+  // Lock order: mutex_ before snapshots_mu_ (SmallestSnapshot is called by
+  // engines holding mutex_); never the reverse.
+  mutable std::mutex snapshots_mu_;
   SnapshotList snapshots_;
 
   std::unique_ptr<ManifestWriter> manifest_;

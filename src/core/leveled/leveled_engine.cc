@@ -51,7 +51,7 @@ NodePtr NodeFromEdit(const NodeEdit& e, Env* env, const std::string& dbname) {
 
 LeveledEngine::LeveledEngine(DBImpl* db)
     : db_(db), compact_pointer_(kNumLevels) {
-  current_.store(std::make_shared<const TreeVersion>(
+  current_.Store(std::make_shared<const TreeVersion>(
       std::vector<std::vector<NodePtr>>(kNumLevels)));
 }
 
@@ -66,7 +66,7 @@ Status LeveledEngine::Recover(const RecoveredState& state) {
     }
     SortLevel(&levels[level], level);
   }
-  current_.store(std::make_shared<const TreeVersion>(std::move(levels)));
+  current_.Store(std::make_shared<const TreeVersion>(std::move(levels)));
   return Status::OK();
 }
 
@@ -191,7 +191,7 @@ void LeveledEngine::ApplyToVersion(const std::vector<NodePtr>& removed,
     levels[add_level].push_back(node);
   }
   SortLevel(&levels[add_level], add_level);
-  current_.store(std::make_shared<const TreeVersion>(std::move(levels)));
+  current_.Store(std::make_shared<const TreeVersion>(std::move(levels)));
 }
 
 Status LeveledEngine::FlushImm() {

@@ -14,13 +14,13 @@
 //    write stalls; combine with background_threads > 1 for "R-4t".
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/tree_engine.h"
+#include "util/published_ptr.h"
 
 namespace iamdb {
 
@@ -42,7 +42,7 @@ class LeveledEngine final : public TreeEngine {
   WritePressure GetWritePressure() const override;
   void FillStats(DbStats* stats) const override;
   TreeVersionPtr current_version() const override {
-    return current_.load(std::memory_order_acquire);
+    return current_.Snapshot();
   }
   Status CheckInvariants(bool quiescent) const override;
 
@@ -67,7 +67,9 @@ class LeveledEngine final : public TreeEngine {
   NodeEdit ToEdit(const NodeMeta& node, int level) const;
 
   DBImpl* db_;
-  std::atomic<TreeVersionPtr> current_;
+  // Stores happen at open time or under the DB mutex (ApplyToVersion) —
+  // the serialization PublishedPtr requires.  Reads take an epoch guard.
+  PublishedPtr<const TreeVersion> current_;
   std::set<int> busy_levels_;       // input+output levels of running jobs
   bool imm_flush_running_ = false;
   std::vector<std::string> compact_pointer_;  // round-robin cursor per level

@@ -1,6 +1,10 @@
 // Snapshots pin a sequence number; reads through a snapshot see the newest
 // version of each key at or below it.  Kept in an intrusive doubly-linked
 // list so the oldest live snapshot (the GC horizon for compactions) is O(1).
+//
+// SnapshotList is not internally synchronized: DBImpl guards it with its
+// dedicated snapshots_mu_ (NOT the write mutex), so snapshot churn never
+// contends with writers — see docs/CONCURRENCY.md.
 #pragma once
 
 #include <cassert>

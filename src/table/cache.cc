@@ -1,12 +1,10 @@
 #include "table/cache.h"
 
-#include <atomic>
-
 namespace iamdb {
 
 struct LruCache::Shard {
   struct Entry {
-    std::string key;
+    BlockCacheKey key;
     ValuePtr value;
     size_t charge;
   };
@@ -14,7 +12,7 @@ struct LruCache::Shard {
 
   std::mutex mu;
   List lru;  // front = most recent
-  std::unordered_map<std::string, List::iterator> index;
+  std::unordered_map<BlockCacheKey, List::iterator, BlockCacheKeyHash> index;
   size_t usage = 0;
   size_t capacity = 0;
 
@@ -37,30 +35,37 @@ LruCache::LruCache(size_t capacity_bytes)
 
 LruCache::~LruCache() = default;
 
-LruCache::Shard* LruCache::GetShard(const Slice& key) {
-  return &shards_[Hash(key) % kNumShards];
+LruCache::Shard* LruCache::GetShard(const BlockCacheKey& key) {
+  // High bits: decorrelated from the unordered_map's bucket choice.
+  static_assert(kNumShards == 16 && sizeof(size_t) == 8,
+                "shard selector takes the top 4 bits of a 64-bit hash");
+  return &shards_[BlockCacheKeyHash{}(key) >> 60];
 }
 
-void LruCache::Insert(const Slice& key, ValuePtr value, size_t charge) {
+void LruCache::Insert(const BlockCacheKey& key, ValuePtr value, size_t charge) {
   Shard* shard = GetShard(key);
   std::lock_guard<std::mutex> l(shard->mu);
-  std::string k = key.ToString();
-  auto it = shard->index.find(k);
-  if (it != shard->index.end()) {
-    shard->usage -= it->second->charge;
-    shard->lru.erase(it->second);
-    shard->index.erase(it);
+  // Single probe: try_emplace either finds the existing slot (update the
+  // entry in place and splice it to the front) or claims a fresh one.
+  auto [it, inserted] = shard->index.try_emplace(key);
+  if (inserted) {
+    shard->lru.push_front(Shard::Entry{key, std::move(value), charge});
+    it->second = shard->lru.begin();
+  } else {
+    Shard::Entry& entry = *it->second;
+    shard->usage -= entry.charge;
+    entry.value = std::move(value);
+    entry.charge = charge;
+    shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
   }
-  shard->lru.push_front(Shard::Entry{std::move(k), std::move(value), charge});
-  shard->index[shard->lru.front().key] = shard->lru.begin();
   shard->usage += charge;
   shard->EvictIfNeeded();
 }
 
-LruCache::ValuePtr LruCache::Lookup(const Slice& key) {
+LruCache::ValuePtr LruCache::Lookup(const BlockCacheKey& key) {
   Shard* shard = GetShard(key);
   std::lock_guard<std::mutex> l(shard->mu);
-  auto it = shard->index.find(key.ToString());
+  auto it = shard->index.find(key);
   if (it == shard->index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
@@ -70,10 +75,10 @@ LruCache::ValuePtr LruCache::Lookup(const Slice& key) {
   return it->second->value;
 }
 
-void LruCache::Erase(const Slice& key) {
+void LruCache::Erase(const BlockCacheKey& key) {
   Shard* shard = GetShard(key);
   std::lock_guard<std::mutex> l(shard->mu);
-  auto it = shard->index.find(key.ToString());
+  auto it = shard->index.find(key);
   if (it == shard->index.end()) return;
   shard->usage -= it->second->charge;
   shard->lru.erase(it->second);
@@ -90,7 +95,7 @@ size_t LruCache::usage() const {
 }
 
 void LruCache::SetCapacity(size_t capacity_bytes) {
-  capacity_ = capacity_bytes;
+  capacity_.store(capacity_bytes, std::memory_order_relaxed);
   for (int i = 0; i < kNumShards; i++) {
     std::lock_guard<std::mutex> l(shards_[i].mu);
     shards_[i].capacity = capacity_bytes / kNumShards;

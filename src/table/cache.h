@@ -3,6 +3,10 @@
 // capacity from here (paper Sec 5.1.3 measures residency with mincore; we
 // control residency directly, see DESIGN.md).
 //
+// Keys are a fixed 16-byte (file_number, offset) pair — exactly what the
+// table layer constructs for every block — so probes never heap-allocate:
+// a Lookup hit costs one shard lock, one hash probe and a list splice.
+//
 // Values are held by shared_ptr so eviction never invalidates a concurrent
 // reader; charge accounting uses the caller-declared byte size.
 #pragma once
@@ -12,13 +16,32 @@
 #include <list>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <unordered_map>
 
-#include "util/hash.h"
-#include "util/slice.h"
-
 namespace iamdb {
+
+// Identity of a cached block: the table file and the block's offset in it.
+struct BlockCacheKey {
+  uint64_t file_number = 0;
+  uint64_t offset = 0;
+
+  friend bool operator==(const BlockCacheKey&, const BlockCacheKey&) = default;
+};
+
+// splitmix64 finalizer over both words: cheap, well-mixed in every bit, so
+// both the shard selector (high bits) and the hash table (low bits) see
+// independent distributions.
+struct BlockCacheKeyHash {
+  size_t operator()(const BlockCacheKey& key) const {
+    uint64_t x = key.file_number * 0x9E3779B97F4A7C15ull ^ key.offset;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
 
 class LruCache {
  public:
@@ -29,15 +52,18 @@ class LruCache {
 
   // Insert (replacing any existing entry); the cache holds `value` until
   // evicted.
-  void Insert(const Slice& key, ValuePtr value, size_t charge);
+  void Insert(const BlockCacheKey& key, ValuePtr value, size_t charge);
 
   // Returns the value or nullptr; promotes the entry to most-recent.
-  ValuePtr Lookup(const Slice& key);
+  // Allocation-free on both hit and miss.
+  ValuePtr Lookup(const BlockCacheKey& key);
 
-  void Erase(const Slice& key);
+  void Erase(const BlockCacheKey& key);
 
   size_t usage() const;
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
   void SetCapacity(size_t capacity_bytes);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -47,9 +73,12 @@ class LruCache {
   struct Shard;
   static constexpr int kNumShards = 16;
 
-  Shard* GetShard(const Slice& key);
+  Shard* GetShard(const BlockCacheKey& key);
 
-  size_t capacity_;
+  // Atomic: SetCapacity may race with capacity() readers (the IAM tuner);
+  // the authoritative per-shard budgets live in the shards, under their
+  // locks.
+  std::atomic<size_t> capacity_;
   std::unique_ptr<Shard[]> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
@@ -57,7 +86,8 @@ class LruCache {
 
 // Typed convenience wrapper.
 template <typename T>
-std::shared_ptr<const T> CacheLookup(LruCache& cache, const Slice& key) {
+std::shared_ptr<const T> CacheLookup(LruCache& cache,
+                                     const BlockCacheKey& key) {
   return std::static_pointer_cast<const T>(cache.Lookup(key));
 }
 

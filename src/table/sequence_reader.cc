@@ -25,10 +25,7 @@ bool SequenceReader::KeyMayMatch(const Slice& user_key) const {
 
 std::shared_ptr<const Block> SequenceReader::ReadDataBlock(
     const ReadOptions& options, const BlockHandle& handle, Status* s) const {
-  char cache_key[16];
-  EncodeFixed64(cache_key, file_number_);
-  EncodeFixed64(cache_key + 8, handle.offset());
-  Slice key(cache_key, sizeof(cache_key));
+  const BlockCacheKey key{file_number_, handle.offset()};
 
   if (options_.block_cache != nullptr) {
     auto cached = CacheLookup<Block>(*options_.block_cache, key);

@@ -1,0 +1,177 @@
+// PublishedPtr<T>: a single-writer-at-a-time, many-reader published pointer
+// with epoch-based reclamation — the publication primitive behind the
+// lock-free read path (DBImpl's ReadView, the engines' TreeVersion).
+//
+// Why not std::atomic<std::shared_ptr<T>>?  libstdc++'s _Sp_atomic guards
+// its raw pointer with an embedded lock bit but releases the reader side
+// with memory_order_relaxed, so the reader's pointer load and the writer's
+// swap are not ordered by happens-before in the formal model — correct on
+// real hardware, but ThreadSanitizer (rightly) reports it, and our TSAN CI
+// job is the regression guard for exactly this protocol.  It also takes a
+// refcount RMW on a shared cache line per load; the guard-based fast path
+// here takes none.
+//
+// Protocol (classic two-bank epoch reclamation, as in userspace-RCU):
+//   * Readers enter a per-thread slot's counter for the current epoch's
+//     bank, re-check the epoch (retrying if a flip raced them), read the
+//     raw pointer, and leave the bank when the guard drops.  Wait-free in
+//     the absence of concurrent flips; never blocks on writers.
+//   * The writer (callers must serialize stores — in this codebase every
+//     Store happens under the DB mutex) swaps the pointer, pushes the old
+//     value onto a retired list, flips the epoch, and frees a retired
+//     pointer only once EACH bank has been observed drained at some moment
+//     after that pointer was retired.  Any reader that could still hold
+//     the pointer entered its bank before the retirement, so two observed
+//     drains prove no holder remains; readers entering later can only load
+//     the newer pointer (the swap precedes the retirement).
+//   The seq_cst fence pairing: the writer flips (seq_cst RMW) then reads
+//   the counters; a reader increments (seq_cst RMW) then re-reads the
+//   epoch.  In the single total order of seq_cst operations either the
+//   writer sees the increment (and keeps the pointer), or the reader sees
+//   the flip (and retries into the new bank).
+//
+// Reclamation is deferred, not blocking: an unlucky sample of a transient
+// reader keeps a retired pointer one more round; it is freed by a later
+// Store or the destructor.  The destructor requires all readers gone.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace iamdb {
+
+template <typename T>
+class PublishedPtr {
+ public:
+  explicit PublishedPtr(std::shared_ptr<T> initial = nullptr)
+      : ptr_(new std::shared_ptr<T>(std::move(initial))) {}
+
+  PublishedPtr(const PublishedPtr&) = delete;
+  PublishedPtr& operator=(const PublishedPtr&) = delete;
+
+  // REQUIRES: no live ReadGuard and no concurrent calls.
+  ~PublishedPtr() {
+    delete ptr_.load(std::memory_order_relaxed);
+    for (Retired& r : retired_) delete r.ptr;
+  }
+
+  // RAII epoch membership: the pointee is guaranteed alive while the guard
+  // lives.  Keep guards short (one operation) — a held guard delays
+  // reclamation of every pointer retired after it was acquired.
+  class ReadGuard {
+   public:
+    ReadGuard(ReadGuard&& other) noexcept
+        : value_(other.value_), bank_(other.bank_) {
+      other.bank_ = nullptr;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ReadGuard& operator=(ReadGuard&&) = delete;
+
+    ~ReadGuard() {
+      if (bank_ != nullptr) bank_->fetch_sub(1, std::memory_order_release);
+    }
+
+    T* get() const { return value_; }
+    T* operator->() const { return value_; }
+    T& operator*() const { return *value_; }
+
+   private:
+    friend class PublishedPtr;
+    ReadGuard(T* value, std::atomic<uint64_t>* bank)
+        : value_(value), bank_(bank) {}
+
+    T* value_;
+    std::atomic<uint64_t>* bank_;
+  };
+
+  // Lock-free fast path: no refcount traffic, two counter RMWs total.
+  ReadGuard Acquire() const {
+    Slot& slot = slots_[ThreadSlotIndex()];
+    for (;;) {
+      const uint64_t e = epoch_.load(std::memory_order_seq_cst);
+      std::atomic<uint64_t>& bank = slot.count[e & 1];
+      bank.fetch_add(1, std::memory_order_seq_cst);
+      if (epoch_.load(std::memory_order_seq_cst) == e) {
+        return ReadGuard(ptr_.load(std::memory_order_acquire)->get(), &bank);
+      }
+      // A flip raced us into the stale bank; bounce to the new one.
+      bank.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  // A real shared_ptr for callers that pin the value beyond one operation
+  // (iterators, stats, manifest writing).
+  std::shared_ptr<T> Snapshot() const {
+    ReadGuard guard = Acquire();
+    // The heap shared_ptr object is immutable after publication and cannot
+    // be reclaimed while the guard is held; copying bumps the refcount.
+    return *ptr_.load(std::memory_order_acquire);
+  }
+
+  // REQUIRES: stores are serialized by the caller (DB mutex).  Readers are
+  // never blocked; old values are reclaimed once provably unreferenced.
+  void Store(std::shared_ptr<T> desired) {
+    auto* fresh = new std::shared_ptr<T>(std::move(desired));
+    std::shared_ptr<T>* old =
+        ptr_.exchange(fresh, std::memory_order_acq_rel);
+    retired_.push_back(Retired{old, 0});
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    Collect();
+  }
+
+  // Retired pointers awaiting proof of quiescence (diagnostics/tests).
+  size_t retired_count() const { return retired_.size(); }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> count[2] = {{0}, {0}};
+  };
+  static constexpr int kSlots = 16;
+
+  struct Retired {
+    std::shared_ptr<T>* ptr;
+    unsigned drained_banks;  // bitmask of banks observed empty since retire
+  };
+
+  static size_t ThreadSlotIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t assigned =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return assigned & (kSlots - 1);
+  }
+
+  // Caller serialized (same contract as Store).
+  void Collect() {
+    unsigned drained = 0;
+    for (int b = 0; b < 2; b++) {
+      uint64_t readers = 0;
+      for (const Slot& slot : slots_) {
+        readers += slot.count[b].load(std::memory_order_seq_cst);
+      }
+      if (readers == 0) drained |= 1u << b;
+    }
+    if (drained == 0) return;
+    size_t kept = 0;
+    for (Retired& r : retired_) {
+      r.drained_banks |= drained;
+      if (r.drained_banks == 0b11) {
+        delete r.ptr;
+      } else {
+        retired_[kept++] = r;
+      }
+    }
+    retired_.resize(kept);
+  }
+
+  std::atomic<std::shared_ptr<T>*> ptr_;
+  std::atomic<uint64_t> epoch_{0};
+  mutable Slot slots_[kSlots];
+  std::vector<Retired> retired_;  // writer-side only (serialized)
+};
+
+}  // namespace iamdb
