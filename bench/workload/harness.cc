@@ -90,6 +90,9 @@ Options MakeOptions(SystemId id, const ScaleConfig& scale, Env* env) {
       options.background_threads = id == SystemId::kI4 ? 4 : 1;
       break;
   }
+  if (scale.background_threads > 0) {
+    options.background_threads = scale.background_threads;
+  }
   return options;
 }
 
@@ -385,6 +388,17 @@ double ParseScale(int argc, char** argv, double def) {
   }
   const char* env = std::getenv("IAMDB_BENCH_SCALE");
   if (env != nullptr) return std::atof(env);
+  return def;
+}
+
+int ParseBgThreads(int argc, char** argv, int def) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--bg_threads=", 13) == 0) {
+      return std::atoi(argv[i] + 13);
+    }
+  }
+  const char* env = std::getenv("IAMDB_BENCH_BG_THREADS");
+  if (env != nullptr) return std::atoi(env);
   return def;
 }
 

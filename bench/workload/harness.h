@@ -37,6 +37,9 @@ struct ScaleConfig {
   // bench shrink the block cache without degrading the IAM policy.
   uint64_t tuner_budget_bytes = 0;
   int fanout = 10;
+  // Overrides every system's background thread count when > 0 (the
+  // per-system defaults — 1 or 4 per Sec 6.1 — apply at 0).
+  int background_threads = 0;
 
   // "100GB data, 16GB memory" at 1/1000 scale.
   static ScaleConfig Gb100();
@@ -144,6 +147,10 @@ void PrintLevelWriteAmps(const std::string& title,
 
 // Reads the scale factor from argv ("--scale=0.5") or IAMDB_BENCH_SCALE.
 double ParseScale(int argc, char** argv, double def = 1.0);
+
+// Reads a background-thread override from argv ("--bg_threads=4") or
+// IAMDB_BENCH_BG_THREADS; 0 means "keep the per-system defaults".
+int ParseBgThreads(int argc, char** argv, int def = 0);
 
 inline uint64_t Scaled(uint64_t n, double scale) {
   uint64_t v = static_cast<uint64_t>(n * scale);

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <functional>
 
 #include "core/compaction_stream.h"
 #include "core/db_impl.h"
 #include "core/filename.h"
 #include "core/level_iters.h"
 #include "table/merging_iterator.h"
+#include "util/rate_limiter.h"
+#include "util/task_group.h"
 
 namespace iamdb {
 
@@ -16,11 +19,11 @@ namespace {
 
 // Sorted in-memory record buffer exposed as an Iterator (forward-only use
 // inside merges).
-using RecordBuffer = std::vector<std::pair<std::string, std::string>>;
+using RecordVec = std::vector<std::pair<std::string, std::string>>;
 
 class VectorIterator final : public Iterator {
  public:
-  explicit VectorIterator(const RecordBuffer* records)
+  explicit VectorIterator(const RecordVec* records)
       : records_(records), index_(records->size()) {}
 
   bool Valid() const override { return index_ < records_->size(); }
@@ -54,7 +57,7 @@ class VectorIterator final : public Iterator {
   Status status() const override { return Status::OK(); }
 
  private:
-  const RecordBuffer* records_;
+  const RecordVec* records_;
   size_t index_;
 };
 
@@ -178,25 +181,29 @@ std::vector<NodePtr> AmtEngine::Children(const TreeVersion& version, int level,
 // ---------------------------------------------------------------------------
 // Picking
 
-bool AmtEngine::AnyBusy(const Job& job) const {
-  if (job.node != nullptr && busy_nodes_.count(job.node->node_id)) return true;
+bool AmtEngine::AnyBusy(const Job& job, const std::set<uint64_t>& busy) {
+  if (job.node != nullptr && busy.count(job.node->node_id)) return true;
   for (const auto& t : job.targets) {
-    if (busy_nodes_.count(t->node_id)) return true;
+    if (busy.count(t->node_id)) return true;
   }
   return false;
 }
 
-void AmtEngine::MarkBusy(const Job& job) {
-  if (job.node != nullptr) busy_nodes_.insert(job.node->node_id);
-  for (const auto& t : job.targets) busy_nodes_.insert(t->node_id);
+void AmtEngine::MarkBusyIn(const Job& job, std::set<uint64_t>* busy) {
+  if (job.node != nullptr) busy->insert(job.node->node_id);
+  for (const auto& t : job.targets) busy->insert(t->node_id);
 }
+
+void AmtEngine::MarkBusy(const Job& job) { MarkBusyIn(job, &busy_nodes_); }
 
 void AmtEngine::ClearBusy(const Job& job) {
   if (job.node != nullptr) busy_nodes_.erase(job.node->node_id);
   for (const auto& t : job.targets) busy_nodes_.erase(t->node_id);
 }
 
-bool AmtEngine::PickJob(const TreeVersion& version, Job* job) {
+bool AmtEngine::PickCompactionJob(const TreeVersion& version,
+                                  const std::set<uint64_t>& busy,
+                                  Job* job) const {
   const int n = version.num_levels();
   const uint64_t capacity = NodeCapacity();
 
@@ -228,7 +235,7 @@ bool AmtEngine::PickJob(const TreeVersion& version, Job* job) {
         Job probe;
         probe.node = nodes[i];
         probe.targets = Children(version, level, *nodes[i]);
-        if (AnyBusy(probe)) continue;
+        if (AnyBusy(probe, busy)) continue;
         best_tcn = tcn;
         best = i;
         if (!min_tcn) break;  // naive: first available candidate
@@ -253,7 +260,7 @@ bool AmtEngine::PickJob(const TreeVersion& version, Job* job) {
       Job probe;
       probe.node = node;
       probe.targets = Children(version, level, *node);
-      if (AnyBusy(probe)) continue;
+      if (AnyBusy(probe, busy)) continue;
       // Precondition (Sec 4.2.1): an internal child that is itself full is
       // flushed first; the deepest-first scan already guarantees any such
       // child was handled or is busy (then AnyBusy skipped us).
@@ -268,44 +275,80 @@ bool AmtEngine::PickJob(const TreeVersion& version, Job* job) {
       return true;
     }
   }
-
-  // 4. Immutable memtable flush into L1.  Targets are the L1 nodes whose
-  //    ranges overlap the memtable's key span — when none do (sequential
-  //    loads), the memtable becomes a brand-new node written exactly once.
-  if (db_->imm() != nullptr && !imm_flush_running_) {
-    Job probe;
-    probe.type = Job::Type::kFlushImm;
-    probe.level = -1;
-    if (n > 0) {
-      std::string imm_lo, imm_hi;
-      {
-        std::unique_ptr<Iterator> it(db_->imm()->NewIterator());
-        it->SeekToFirst();
-        if (it->Valid()) imm_lo = ExtractUserKey(it->key()).ToString();
-        it->SeekToLast();
-        if (it->Valid()) imm_hi = ExtractUserKey(it->key()).ToString();
-      }
-      for (const auto& node : version.level(0)) {
-        if (node->range_hi < imm_lo || node->range_lo > imm_hi) continue;
-        probe.targets.push_back(node);
-        // A full L1 node blocks the memtable flush (precondition 2) when
-        // L1 is internal; it will be flushed by rule 3 first.
-        if (n > 1 && node->data_bytes >= capacity) return false;
-      }
-    }
-    if (AnyBusy(probe)) return false;
-    *job = probe;
-    return true;
-  }
   return false;
 }
 
+bool AmtEngine::PickFlushJob(const TreeVersion& version, Job* job) {
+  if (db_->imm() == nullptr || imm_flush_running_) return false;
+  const int n = version.num_levels();
+  const uint64_t capacity = NodeCapacity();
+
+  // Targets are the L1 nodes whose ranges overlap the memtable's key span —
+  // when none do (sequential loads), the memtable becomes a brand-new node
+  // written exactly once.
+  Job probe;
+  probe.type = Job::Type::kFlushImm;
+  probe.level = -1;
+  if (n > 0) {
+    std::string imm_lo, imm_hi;
+    {
+      std::unique_ptr<Iterator> it(db_->imm()->NewIterator());
+      it->SeekToFirst();
+      if (it->Valid()) imm_lo = ExtractUserKey(it->key()).ToString();
+      it->SeekToLast();
+      if (it->Valid()) imm_hi = ExtractUserKey(it->key()).ToString();
+    }
+    for (const auto& node : version.level(0)) {
+      if (node->range_hi < imm_lo || node->range_lo > imm_hi) continue;
+      if (n > 1 && node->data_bytes >= capacity) {
+        // A full internal L1 child blocks the memtable flush
+        // (precondition 2, Sec 4.2.1).  Run that child's own flush here on
+        // the flush lane — with flush priority — instead of waiting for
+        // the compaction queue to reach it, so the stalled writer is
+        // unblocked as fast as the prerequisite allows.
+        Job pre;
+        pre.level = 0;
+        pre.node = node;
+        pre.targets = Children(version, 0, *node);
+        if (AnyBusy(pre, busy_nodes_)) return false;  // being handled now
+        const double split_at =
+            db_->options().amt.split_child_factor * Fanout();
+        pre.type = pre.targets.size() >= static_cast<size_t>(split_at) &&
+                           pre.targets.size() >= 2
+                       ? Job::Type::kSplit
+                       : Job::Type::kFlushNode;
+        *job = pre;
+        return true;
+      }
+      probe.targets.push_back(node);
+    }
+  }
+  if (AnyBusy(probe, busy_nodes_)) return false;
+  *job = probe;
+  return true;
+}
+
 bool AmtEngine::NeedsCompaction() const {
+  return RunnableCompactions(1) > 0;
+}
+
+int AmtEngine::RunnableCompactions(int max) const {
+  if (max <= 0) return 0;
   TreeVersionPtr version = current_version();
-  Job job;
-  // PickJob is const-safe with respect to engine state apart from busy
-  // bookkeeping, which the caller holds the mutex for.
-  return const_cast<AmtEngine*>(this)->PickJob(*version, &job);
+  // Simulate the scheduler: pick, busy-mark, repeat.  Every non-grow pick
+  // marks at least its own node busy, so the loop terminates.
+  std::set<uint64_t> busy = busy_nodes_;
+  int count = 0;
+  while (count < max) {
+    Job job;
+    if (!PickCompactionJob(*version, busy, &job)) break;
+    count++;
+    // Grow mutates the level count under the mutex and serializes with
+    // everything; it marks nothing busy, so stop simulating past it.
+    if (job.type == Job::Type::kGrow) break;
+    MarkBusyIn(job, &busy);
+  }
+  return count;
 }
 
 TreeEngine::WritePressure AmtEngine::GetWritePressure() const {
@@ -314,27 +357,38 @@ TreeEngine::WritePressure AmtEngine::GetWritePressure() const {
   return WritePressure::kNone;
 }
 
-Status AmtEngine::BackgroundWork(bool* did_work) {
+Status AmtEngine::BackgroundWork(WorkLane lane, bool* did_work) {
   *did_work = false;
   TreeVersionPtr version = current_version();
   Job job;
-  if (!PickJob(*version, &job)) return Status::OK();
+  if (lane == WorkLane::kFlush) {
+    if (!PickFlushJob(*version, &job)) return Status::OK();
+  } else {
+    if (!PickCompactionJob(*version, busy_nodes_, &job)) return Status::OK();
+  }
   *did_work = true;
 
   if (job.type == Job::Type::kGrow) return RunGrow();
+
+  // Flush-lane I/O outranks merge I/O at the rate limiter for the whole
+  // job on this thread; subcompaction shards re-establish the scope on
+  // their own threads (FlushInto).
+  RateLimiter::ScopedPriority prio(lane == WorkLane::kFlush
+                                       ? RateLimiter::IoPriority::kHigh
+                                       : RateLimiter::IoPriority::kLow);
 
   MarkBusy(job);
   if (job.type == Job::Type::kFlushImm) imm_flush_running_ = true;
   Status s;
   switch (job.type) {
     case Job::Type::kFlushImm:
-      s = RunFlushImm(job);
+      s = RunFlushImm(job, lane);
       break;
     case Job::Type::kFlushNode:
-      s = RunFlushNode(job, /*destroy_parent=*/false);
+      s = RunFlushNode(job, /*destroy_parent=*/false, lane);
       break;
     case Job::Type::kCombine:
-      s = RunFlushNode(job, /*destroy_parent=*/true);
+      s = RunFlushNode(job, /*destroy_parent=*/true, lane);
       break;
     case Job::Type::kSplit:
       s = RunSplit(job);
@@ -415,15 +469,230 @@ Status AmtEngine::RunGrow() {
 // flushes and combines.  Drains `source` (already visibility-filtered,
 // internal-key order) into the targets at version index `tlevel`; the
 // parent node's own removal is handled by the caller.
-Status AmtEngine::FlushInto(CompactionStream* source, int tlevel,
-                            const std::vector<NodePtr>& targets, bool is_leaf,
-                            WriteReason append_reason, FlushDelta* delta) {
+
+Status AmtEngine::FlushOneTarget(const NodePtr& target,
+                                 const RecordBuffer& records, int tlevel,
+                                 bool is_leaf, WriteReason append_reason,
+                                 SequenceNumber smallest_snapshot,
+                                 FlushDelta* frag) {
   const Options& options = db_->options();
   const uint64_t capacity = NodeCapacity();
   const int paper_level = tlevel + 1;
   const bool lsa = options.amt.policy == AmtPolicy::kLsa;
   const MixedLevelChoice mixed = mixed_level();
   const int k = mixed.k;
+
+  // Policy (Sec 5.1): merge a full leaf child; IAM merges below m and at
+  // m once a child holds k sequences; everything else appends.
+  bool do_merge = false;
+  if (!target->empty()) {
+    if (is_leaf && target->data_bytes >= capacity) {
+      do_merge = true;
+    } else if (!lsa) {
+      if (paper_level > mixed.m) {
+        do_merge = true;
+      } else if (IsMixedLevel(paper_level) &&
+                 target->seq_count >= static_cast<uint32_t>(k)) {
+        do_merge = true;
+      }
+    }
+  }
+
+  std::string data_lo = ExtractUserKey(records.front().first).ToString();
+  std::string data_hi = ExtractUserKey(records.back().first).ToString();
+
+  if (!do_merge) {
+    // ---- Append path ----
+    MSTableBuildResult result;
+    Status s;
+    uint64_t file_number = target->file_number;
+    std::shared_ptr<FileLifetime> lifetime = target->lifetime;
+    if (target->file_number == 0) {
+      // Empty placeholder: materialize its first file.
+      {
+        std::lock_guard<std::mutex> l(db_->mutex());
+        file_number = db_->NewFileNumber();
+      }
+      MSTableWriter writer(db_->env(), options.table,
+                           TableFileName(db_->dbname(), file_number));
+      s = writer.Open();
+      for (const auto& [ik, v] : records) {
+        if (!s.ok()) break;
+        s = writer.Add(ik, v);
+      }
+      if (s.ok()) {
+        s = writer.Finish(/*sync=*/true, &result);
+      } else {
+        writer.Abandon();
+      }
+      if (!s.ok()) return s;
+      lifetime = std::make_shared<FileLifetime>(
+          db_->env(), TableFileName(db_->dbname(), file_number));
+    } else {
+      std::shared_ptr<MSTableReader> reader;
+      s = target->OpenReader(db_->env(), options.table, db_->icmp(),
+                             db_->dbname(), &reader);
+      if (!s.ok()) return s;
+      MSTableAppender appender(db_->env(), options.table,
+                               TableFileName(db_->dbname(), file_number),
+                               *reader);
+      s = appender.Open();
+      for (const auto& [ik, v] : records) {
+        if (!s.ok()) break;
+        s = appender.Add(ik, v);
+      }
+      if (s.ok()) {
+        s = appender.Finish(/*sync=*/true, &result);
+      } else {
+        appender.Abandon();
+      }
+      if (!s.ok()) return s;
+    }
+
+    auto updated = std::make_shared<NodeMeta>();
+    updated->node_id = target->node_id;
+    updated->file_number = file_number;
+    updated->meta_end = result.meta_end;
+    updated->data_bytes = result.data_bytes;
+    updated->num_entries = result.num_entries;
+    updated->seq_count = result.seq_count;
+    updated->smallest_ikey = result.smallest;
+    updated->largest_ikey = result.largest;
+    updated->range_lo = std::min(target->range_lo, data_lo);
+    updated->range_hi = std::max(target->range_hi, data_hi);
+    updated->lifetime = std::move(lifetime);
+
+    db_->amp_stats_mutable()->RecordLevelWrite(paper_level, append_reason,
+                                               result.new_data_bytes);
+    db_->amp_stats_mutable()->RecordLevelWrite(
+        paper_level, WriteReason::kMetadata, result.meta_bytes);
+
+    frag->removed.emplace_back(tlevel, target->node_id);
+    frag->added.emplace_back(tlevel, updated);
+  } else {
+    // ---- Merge path ----
+    std::shared_ptr<MSTableReader> reader;
+    Status s = target->OpenReader(db_->env(), options.table, db_->icmp(),
+                                  db_->dbname(), &reader);
+    if (!s.ok()) return s;
+
+    std::vector<Iterator*> iters;
+    iters.push_back(new VectorIterator(&records));
+    iters.back()->SeekToFirst();
+    ReadOptions merge_read;
+    merge_read.fill_cache = false;
+    merge_read.rate_limiter = db_->rate_limiter();
+    reader->AddSequenceIterators(merge_read, &iters);
+    Iterator* merged = NewMergingIterator(db_->icmp(), iters.data(),
+                                          static_cast<int>(iters.size()));
+    CompactionStream stream(merged, smallest_snapshot,
+                            /*bottommost=*/is_leaf);
+
+    // Leaf merges shatter into fresh nodes of Cts = Ct/split_factor
+    // (Sec 4.2.1, Fig. 4); internal merges produce one single-sequence
+    // node (Sec 5.1.1).
+    const uint64_t cut_bytes =
+        is_leaf ? capacity / options.amt.leaf_merge_split_factor
+                : UINT64_MAX;
+
+    std::vector<NodePtr> outputs;
+    std::unique_ptr<MSTableWriter> writer;
+    uint64_t out_file = 0, out_node = 0;
+    uint64_t written = 0, meta_written = 0;
+    auto finish_output = [&]() -> Status {
+      if (writer == nullptr) return Status::OK();
+      MSTableBuildResult result;
+      Status fs = writer->Finish(/*sync=*/true, &result);
+      if (!fs.ok()) return fs;
+      auto node = std::make_shared<NodeMeta>();
+      node->node_id = out_node;
+      node->file_number = out_file;
+      node->meta_end = result.meta_end;
+      node->data_bytes = result.data_bytes;
+      node->num_entries = result.num_entries;
+      node->seq_count = result.seq_count;
+      node->smallest_ikey = result.smallest;
+      node->largest_ikey = result.largest;
+      node->range_lo = ExtractUserKey(result.smallest).ToString();
+      node->range_hi = ExtractUserKey(result.largest).ToString();
+      node->lifetime = std::make_shared<FileLifetime>(
+          db_->env(), TableFileName(db_->dbname(), out_file));
+      outputs.push_back(std::move(node));
+      written += result.data_bytes;
+      meta_written += result.meta_bytes;
+      writer.reset();
+      return Status::OK();
+    };
+
+    std::string last_user_key;
+    while (stream.Valid() && s.ok()) {
+      Slice user_key = ExtractUserKey(stream.key());
+      // Cut only at user-key boundaries so node ranges in a level stay
+      // user-key-disjoint (point reads pick exactly one node per level).
+      if (writer != nullptr &&
+          writer->EstimatedDataBytes() >= cut_bytes &&
+          user_key != Slice(last_user_key)) {
+        s = finish_output();
+        if (!s.ok()) break;
+      }
+      if (writer == nullptr) {
+        {
+          std::lock_guard<std::mutex> l(db_->mutex());
+          out_file = db_->NewFileNumber();
+          out_node = db_->NewNodeId();
+        }
+        writer = std::make_unique<MSTableWriter>(
+            db_->env(), options.table,
+            TableFileName(db_->dbname(), out_file));
+        s = writer->Open();
+        if (!s.ok()) break;
+      }
+      s = writer->Add(stream.key(), stream.value());
+      if (!s.ok()) break;
+      last_user_key.assign(user_key.data(), user_key.size());
+      stream.Next();
+    }
+    if (s.ok()) s = stream.status();
+    if (s.ok()) {
+      s = finish_output();
+    } else if (writer != nullptr) {
+      writer->Abandon();
+    }
+    if (!s.ok()) {
+      for (const auto& node : outputs) {
+        if (node->lifetime) node->lifetime->MarkObsolete();
+      }
+      return s;
+    }
+
+    // Preserve the child's range coverage on the outer outputs.
+    if (!outputs.empty()) {
+      outputs.front()->range_lo =
+          std::min(outputs.front()->range_lo,
+                   std::min(target->range_lo, data_lo));
+      outputs.back()->range_hi = std::max(
+          outputs.back()->range_hi, std::max(target->range_hi, data_hi));
+    }
+
+    db_->amp_stats_mutable()->RecordLevelWrite(paper_level,
+                                               WriteReason::kMerge, written);
+    db_->amp_stats_mutable()->RecordLevelWrite(
+        paper_level, WriteReason::kMetadata, meta_written);
+
+    frag->removed.emplace_back(tlevel, target->node_id);
+    if (target->lifetime) frag->obsolete.push_back(target->lifetime);
+    for (const auto& node : outputs) {
+      frag->added.emplace_back(tlevel, node);
+    }
+  }
+  return Status::OK();
+}
+
+Status AmtEngine::FlushInto(CompactionStream* source, int tlevel,
+                            const std::vector<NodePtr>& targets, bool is_leaf,
+                            WriteReason append_reason, WorkLane lane,
+                            FlushDelta* delta) {
+  const Options& options = db_->options();
 
   // Partition the source into per-target buffers.  Targets are
   // range-sorted; a record goes to the last target whose range_lo is <=
@@ -452,220 +721,117 @@ Status AmtEngine::FlushInto(CompactionStream* source, int tlevel,
     smallest_snapshot = db_->SmallestSnapshot();
   }
 
+  // Each non-empty target is an independent subcompaction unit: the
+  // partition step put every record in exactly one child, so shards touch
+  // disjoint key ranges and disjoint files.  Results are collected in
+  // per-target fragments and merged in child order below — the final edit
+  // is byte-identical to the single-threaded execution regardless of how
+  // many shards ran or how they interleaved (subcompaction_test asserts
+  // this across engines).
+  std::vector<FlushDelta> fragments(targets.size());
+  std::vector<size_t> work;
+  std::vector<uint64_t> work_bytes;
+  uint64_t total_bytes = 0;
   for (size_t i = 0; i < targets.size(); i++) {
     if (partitions[i].empty()) continue;
-    const NodePtr& target = targets[i];
-    const RecordBuffer& records = partitions[i];
+    uint64_t bytes = 0;
+    for (const auto& [ik, v] : partitions[i]) bytes += ik.size() + v.size();
+    work.push_back(i);
+    work_bytes.push_back(bytes);
+    total_bytes += bytes;
+  }
 
-    // Policy (Sec 5.1): merge a full leaf child; IAM merges below m and at
-    // m once a child holds k sequences; everything else appends.
-    bool do_merge = false;
-    if (!target->empty()) {
-      if (is_leaf && target->data_bytes >= capacity) {
-        do_merge = true;
-      } else if (!lsa) {
-        if (paper_level > mixed.m) {
-          do_merge = true;
-        } else if (IsMixedLevel(paper_level) &&
-                   target->seq_count >= static_cast<uint32_t>(k)) {
-          do_merge = true;
+  int fan = options.max_subcompactions > 0 ? options.max_subcompactions
+                                           : options.background_threads;
+  fan = std::min<int>(fan, static_cast<int>(work.size()));
+
+  Status s;
+  if (fan <= 1) {
+    for (size_t i : work) {
+      s = FlushOneTarget(targets[i], partitions[i], tlevel, is_leaf,
+                         append_reason, smallest_snapshot, &fragments[i]);
+      if (!s.ok()) break;
+    }
+  } else {
+    // Contiguous groups balanced by partition bytes: each group is one
+    // pool task, so a skewed partition doesn't serialize behind one shard.
+    std::vector<std::vector<size_t>> groups;
+    groups.emplace_back();
+    uint64_t per_group = total_bytes / fan + 1;
+    uint64_t acc = 0;
+    for (size_t w = 0; w < work.size(); w++) {
+      if (acc >= per_group &&
+          static_cast<int>(groups.size()) < fan) {
+        groups.emplace_back();
+        acc = 0;
+      }
+      groups.back().push_back(work[w]);
+      acc += work_bytes[w];
+    }
+
+    const RateLimiter::IoPriority prio = lane == WorkLane::kFlush
+                                             ? RateLimiter::IoPriority::kHigh
+                                             : RateLimiter::IoPriority::kLow;
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(groups.size());
+    for (const auto& group : groups) {
+      tasks.push_back([this, &group, &targets, &partitions, &fragments,
+                       tlevel, is_leaf, append_reason, smallest_snapshot,
+                       prio]() -> Status {
+        // Pool helpers carry no priority scope of their own.
+        RateLimiter::ScopedPriority p(prio);
+        for (size_t i : group) {
+          Status ts =
+              FlushOneTarget(targets[i], partitions[i], tlevel, is_leaf,
+                             append_reason, smallest_snapshot, &fragments[i]);
+          if (!ts.ok()) return ts;
+        }
+        return Status::OK();
+      });
+    }
+    db_->RecordSubcompactions(tasks.size());
+    s = TaskGroup::RunAll(db_->pool(),
+                          lane == WorkLane::kFlush ? ThreadPool::Lane::kHigh
+                                                   : ThreadPool::Lane::kLow,
+                          std::move(tasks));
+  }
+
+  if (!s.ok()) {
+    // Shards that succeeded before the failure produced files that will
+    // never be installed.  Merge outputs get fresh lifetimes — mark those
+    // obsolete; append-path results share the target's own file (possibly
+    // with trailing garbage past the recorded meta_end, which readers
+    // never consult) and must be left alone.
+    for (size_t i = 0; i < targets.size(); i++) {
+      for (const auto& [lvl, node] : fragments[i].added) {
+        (void)lvl;
+        if (node->lifetime && node->lifetime != targets[i]->lifetime) {
+          node->lifetime->MarkObsolete();
         }
       }
     }
+    return s;
+  }
 
-    std::string data_lo = ExtractUserKey(records.front().first).ToString();
-    std::string data_hi = ExtractUserKey(records.back().first).ToString();
-
-    if (!do_merge) {
-      // ---- Append path ----
-      MSTableBuildResult result;
-      Status s;
-      uint64_t file_number = target->file_number;
-      std::shared_ptr<FileLifetime> lifetime = target->lifetime;
-      if (target->file_number == 0) {
-        // Empty placeholder: materialize its first file.
-        {
-          std::lock_guard<std::mutex> l(db_->mutex());
-          file_number = db_->NewFileNumber();
-        }
-        MSTableWriter writer(db_->env(), options.table,
-                             TableFileName(db_->dbname(), file_number));
-        s = writer.Open();
-        for (const auto& [ik, v] : records) {
-          if (!s.ok()) break;
-          s = writer.Add(ik, v);
-        }
-        if (s.ok()) {
-          s = writer.Finish(/*sync=*/true, &result);
-        } else {
-          writer.Abandon();
-        }
-        if (!s.ok()) return s;
-        lifetime = std::make_shared<FileLifetime>(
-            db_->env(), TableFileName(db_->dbname(), file_number));
-      } else {
-        std::shared_ptr<MSTableReader> reader;
-        s = target->OpenReader(db_->env(), options.table, db_->icmp(),
-                               db_->dbname(), &reader);
-        if (!s.ok()) return s;
-        MSTableAppender appender(db_->env(), options.table,
-                                 TableFileName(db_->dbname(), file_number),
-                                 *reader);
-        s = appender.Open();
-        for (const auto& [ik, v] : records) {
-          if (!s.ok()) break;
-          s = appender.Add(ik, v);
-        }
-        if (s.ok()) {
-          s = appender.Finish(/*sync=*/true, &result);
-        } else {
-          appender.Abandon();
-        }
-        if (!s.ok()) return s;
-      }
-
-      auto updated = std::make_shared<NodeMeta>();
-      updated->node_id = target->node_id;
-      updated->file_number = file_number;
-      updated->meta_end = result.meta_end;
-      updated->data_bytes = result.data_bytes;
-      updated->num_entries = result.num_entries;
-      updated->seq_count = result.seq_count;
-      updated->smallest_ikey = result.smallest;
-      updated->largest_ikey = result.largest;
-      updated->range_lo = std::min(target->range_lo, data_lo);
-      updated->range_hi = std::max(target->range_hi, data_hi);
-      updated->lifetime = std::move(lifetime);
-
-      db_->amp_stats_mutable()->RecordLevelWrite(paper_level, append_reason,
-                                                 result.new_data_bytes);
-      db_->amp_stats_mutable()->RecordLevelWrite(
-          paper_level, WriteReason::kMetadata, result.meta_bytes);
-
-      delta->removed.emplace_back(tlevel, target->node_id);
-      delta->added.emplace_back(tlevel, updated);
-      delta->edit.RemoveNode(tlevel, target->node_id);
-      delta->edit.AddNode(ToEdit(*updated, tlevel));
-    } else {
-      // ---- Merge path ----
-      std::shared_ptr<MSTableReader> reader;
-      Status s = target->OpenReader(db_->env(), options.table, db_->icmp(),
-                                    db_->dbname(), &reader);
-      if (!s.ok()) return s;
-
-      std::vector<Iterator*> iters;
-      iters.push_back(new VectorIterator(&records));
-      iters.back()->SeekToFirst();
-      reader->AddSequenceIterators(ReadOptions{.fill_cache = false}, &iters);
-      Iterator* merged = NewMergingIterator(db_->icmp(), iters.data(),
-                                            static_cast<int>(iters.size()));
-      CompactionStream stream(merged, smallest_snapshot,
-                              /*bottommost=*/is_leaf);
-
-      // Leaf merges shatter into fresh nodes of Cts = Ct/split_factor
-      // (Sec 4.2.1, Fig. 4); internal merges produce one single-sequence
-      // node (Sec 5.1.1).
-      const uint64_t cut_bytes =
-          is_leaf ? capacity / options.amt.leaf_merge_split_factor
-                  : UINT64_MAX;
-
-      std::vector<NodePtr> outputs;
-      std::unique_ptr<MSTableWriter> writer;
-      uint64_t out_file = 0, out_node = 0;
-      uint64_t written = 0, meta_written = 0;
-      auto finish_output = [&]() -> Status {
-        if (writer == nullptr) return Status::OK();
-        MSTableBuildResult result;
-        Status fs = writer->Finish(/*sync=*/true, &result);
-        if (!fs.ok()) return fs;
-        auto node = std::make_shared<NodeMeta>();
-        node->node_id = out_node;
-        node->file_number = out_file;
-        node->meta_end = result.meta_end;
-        node->data_bytes = result.data_bytes;
-        node->num_entries = result.num_entries;
-        node->seq_count = result.seq_count;
-        node->smallest_ikey = result.smallest;
-        node->largest_ikey = result.largest;
-        node->range_lo = ExtractUserKey(result.smallest).ToString();
-        node->range_hi = ExtractUserKey(result.largest).ToString();
-        node->lifetime = std::make_shared<FileLifetime>(
-            db_->env(), TableFileName(db_->dbname(), out_file));
-        outputs.push_back(std::move(node));
-        written += result.data_bytes;
-        meta_written += result.meta_bytes;
-        writer.reset();
-        return Status::OK();
-      };
-
-      std::string last_user_key;
-      while (stream.Valid() && s.ok()) {
-        Slice user_key = ExtractUserKey(stream.key());
-        // Cut only at user-key boundaries so node ranges in a level stay
-        // user-key-disjoint (point reads pick exactly one node per level).
-        if (writer != nullptr &&
-            writer->EstimatedDataBytes() >= cut_bytes &&
-            user_key != Slice(last_user_key)) {
-          s = finish_output();
-          if (!s.ok()) break;
-        }
-        if (writer == nullptr) {
-          {
-            std::lock_guard<std::mutex> l(db_->mutex());
-            out_file = db_->NewFileNumber();
-            out_node = db_->NewNodeId();
-          }
-          writer = std::make_unique<MSTableWriter>(
-              db_->env(), options.table,
-              TableFileName(db_->dbname(), out_file));
-          s = writer->Open();
-          if (!s.ok()) break;
-        }
-        s = writer->Add(stream.key(), stream.value());
-        if (!s.ok()) break;
-        last_user_key.assign(user_key.data(), user_key.size());
-        stream.Next();
-      }
-      if (s.ok()) s = stream.status();
-      if (s.ok()) {
-        s = finish_output();
-      } else if (writer != nullptr) {
-        writer->Abandon();
-      }
-      if (!s.ok()) {
-        for (const auto& node : outputs) {
-          if (node->lifetime) node->lifetime->MarkObsolete();
-        }
-        return s;
-      }
-
-      // Preserve the child's range coverage on the outer outputs.
-      if (!outputs.empty()) {
-        outputs.front()->range_lo =
-            std::min(outputs.front()->range_lo,
-                     std::min(target->range_lo, data_lo));
-        outputs.back()->range_hi = std::max(
-            outputs.back()->range_hi, std::max(target->range_hi, data_hi));
-      }
-
-      db_->amp_stats_mutable()->RecordLevelWrite(paper_level,
-                                                 WriteReason::kMerge, written);
-      db_->amp_stats_mutable()->RecordLevelWrite(
-          paper_level, WriteReason::kMetadata, meta_written);
-
-      delta->removed.emplace_back(tlevel, target->node_id);
-      delta->edit.RemoveNode(tlevel, target->node_id);
-      if (target->lifetime) delta->obsolete.push_back(target->lifetime);
-      for (const auto& node : outputs) {
-        delta->added.emplace_back(tlevel, node);
-        delta->edit.AddNode(ToEdit(*node, tlevel));
-      }
+  // Deterministic install order: child order, independent of shard timing.
+  for (size_t i = 0; i < targets.size(); i++) {
+    FlushDelta& frag = fragments[i];
+    for (const auto& [lvl, node_id] : frag.removed) {
+      delta->removed.emplace_back(lvl, node_id);
+      delta->edit.RemoveNode(lvl, node_id);
+    }
+    for (const auto& [lvl, node] : frag.added) {
+      delta->added.emplace_back(lvl, node);
+      delta->edit.AddNode(ToEdit(*node, lvl));
+    }
+    for (auto& lifetime : frag.obsolete) {
+      delta->obsolete.push_back(std::move(lifetime));
     }
   }
   return Status::OK();
 }
 
-Status AmtEngine::RunFlushImm(const Job& job) {
+Status AmtEngine::RunFlushImm(const Job& job, WorkLane lane) {
   // Mutex held on entry.
   MemTable* imm = db_->imm();
   assert(imm != nullptr);
@@ -732,7 +898,7 @@ Status AmtEngine::RunFlushImm(const Job& job) {
     CompactionStream stream(imm->NewIterator(), smallest_snapshot,
                             /*bottommost=*/false);
     s = FlushInto(&stream, 0, job.targets, /*is_leaf=*/n == 1,
-                  WriteReason::kFlush, &delta);
+                  WriteReason::kFlush, lane, &delta);
   }
   imm->Unref();
 
@@ -749,7 +915,8 @@ Status AmtEngine::RunFlushImm(const Job& job) {
   return Status::OK();
 }
 
-Status AmtEngine::RunFlushNode(const Job& job, bool destroy_parent) {
+Status AmtEngine::RunFlushNode(const Job& job, bool destroy_parent,
+                               WorkLane lane) {
   // Mutex held on entry.
   const NodePtr& node = job.node;
   const int level = job.level;
@@ -799,7 +966,10 @@ Status AmtEngine::RunFlushNode(const Job& job, bool destroy_parent) {
       return s;
     }
     std::vector<Iterator*> iters;
-    reader->AddSequenceIterators(ReadOptions{.fill_cache = false}, &iters);
+    ReadOptions merge_read;
+    merge_read.fill_cache = false;
+    merge_read.rate_limiter = db_->rate_limiter();
+    reader->AddSequenceIterators(merge_read, &iters);
     Iterator* merged = NewMergingIterator(db_->icmp(), iters.data(),
                                           static_cast<int>(iters.size()));
     CompactionStream stream(merged, smallest_snapshot, /*bottommost=*/false);
@@ -852,7 +1022,7 @@ Status AmtEngine::RunFlushNode(const Job& job, bool destroy_parent) {
     } else {
       s = FlushInto(&stream, level + 1, job.targets,
                     /*is_leaf=*/(level + 1) == n - 1, WriteReason::kAppend,
-                    &delta);
+                    lane, &delta);
     }
   }
 
@@ -899,7 +1069,10 @@ Status AmtEngine::RunSplit(const Job& job) {
   uint64_t written = 0, meta_written = 0;
   if (s.ok()) {
     std::vector<Iterator*> iters;
-    reader->AddSequenceIterators(ReadOptions{.fill_cache = false}, &iters);
+    ReadOptions merge_read;
+    merge_read.fill_cache = false;
+    merge_read.rate_limiter = db_->rate_limiter();
+    reader->AddSequenceIterators(merge_read, &iters);
     Iterator* merged = NewMergingIterator(db_->icmp(), iters.data(),
                                           static_cast<int>(iters.size()));
     CompactionStream stream(merged, smallest_snapshot, /*bottommost=*/false);

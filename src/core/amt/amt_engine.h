@@ -24,12 +24,20 @@
 //  * IAM: levels above the mixed level m append; the mixed level appends
 //    until a child holds k sequences, then merges; levels below m always
 //    merge.  (m, k) auto-tunes to the cache budget per Eq. 1-2.
+//
+// Parallelism: a flush job's per-child work is independent — the partition
+// step assigns each record to exactly one child — so FlushInto shards the
+// non-empty children across the thread pool (partitioned subcompactions)
+// and installs every shard's output in ONE VersionEdit.  Job-level
+// conflicts are prevented by busy-marking node ids under the DB mutex;
+// shard-level conflicts cannot exist because shards own disjoint children.
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/amt/amt_tuner.h"
@@ -48,7 +56,8 @@ class AmtEngine final : public TreeEngine {
 
   Status Recover(const RecoveredState& state) override;
   bool NeedsCompaction() const override;
-  Status BackgroundWork(bool* did_work) override;
+  int RunnableCompactions(int max) const override;
+  Status BackgroundWork(WorkLane lane, bool* did_work) override;
   Status Get(const ReadOptions& options, const LookupKey& key,
              std::string* value) override;
   void AddIterators(const ReadOptions& options,
@@ -74,6 +83,9 @@ class AmtEngine final : public TreeEngine {
   };
 
   // Structural changes accumulated while flushing into a target set.
+  // Subcompaction shards fill per-shard deltas (removed/added/obsolete
+  // only); FlushInto merges them in child order and builds the edit, so
+  // the installed VersionEdit is identical however shards interleave.
   struct FlushDelta {
     std::vector<std::pair<int, uint64_t>> removed;
     std::vector<std::pair<int, NodePtr>> added;
@@ -81,6 +93,8 @@ class AmtEngine final : public TreeEngine {
     VersionEdit edit;
     int new_num_levels = 0;
   };
+
+  using RecordBuffer = std::vector<std::pair<std::string, std::string>>;
 
   // Paper-level (1-based) classification.
   bool IsAppendLevel(int paper_level) const;
@@ -90,9 +104,18 @@ class AmtEngine final : public TreeEngine {
   uint64_t NodeCapacity() const;
   uint64_t LevelNodeLimit(int version_index) const;  // t^(index+1)
 
-  // Picker (mutex held): deepest structural violation first.
-  bool PickJob(const TreeVersion& version, Job* job);
-  bool AnyBusy(const Job& job) const;
+  // Pickers (mutex held).  Compaction lane: deepest structural violation
+  // first (grow, combine, full-node flush/split), skipping jobs whose
+  // nodes appear in `busy`.  Flush lane: the imm flush, or — when a full
+  // internal L1 child blocks it (Sec 4.2.1 precondition) — that child's
+  // flush job, run with flush priority so the stalled writer never waits
+  // behind the merge queue.
+  bool PickCompactionJob(const TreeVersion& version,
+                         const std::set<uint64_t>& busy, Job* job) const;
+  bool PickFlushJob(const TreeVersion& version, Job* job);
+
+  static bool AnyBusy(const Job& job, const std::set<uint64_t>& busy);
+  static void MarkBusyIn(const Job& job, std::set<uint64_t>* busy);
   void MarkBusy(const Job& job);
   void ClearBusy(const Job& job);
 
@@ -101,18 +124,29 @@ class AmtEngine final : public TreeEngine {
   std::vector<NodePtr> Children(const TreeVersion& version, int level,
                                 const NodeMeta& node) const;
 
-  // Executors (mutex held on entry/exit, unlocked around I/O).
+  // Executors (mutex held on entry/exit, unlocked around I/O).  `lane` is
+  // the scheduler lane the job runs on: it selects the fan-out lane for
+  // subcompaction shards and the rate-limiter priority of the job's I/O.
   Status RunGrow();
-  Status RunFlushImm(const Job& job);
-  Status RunFlushNode(const Job& job, bool destroy_parent);
+  Status RunFlushImm(const Job& job, WorkLane lane);
+  Status RunFlushNode(const Job& job, bool destroy_parent, WorkLane lane);
   Status RunSplit(const Job& job);
 
   // Drains a visibility-filtered record stream into the range-sorted
   // targets at version index `tlevel`, appending or merging per policy.
-  // Mutex NOT held.
+  // Shards non-empty targets across the pool when max_subcompactions
+  // allows.  Mutex NOT held.
   Status FlushInto(CompactionStream* source, int tlevel,
                    const std::vector<NodePtr>& targets, bool is_leaf,
-                   WriteReason append_reason, FlushDelta* delta);
+                   WriteReason append_reason, WorkLane lane,
+                   FlushDelta* delta);
+
+  // One target's append-or-merge step (one subcompaction unit).  Runs on
+  // pool helpers or the job thread; touches only its own target/records/
+  // fragment, allocates file/node numbers under short mutex sections.
+  Status FlushOneTarget(const NodePtr& target, const RecordBuffer& records,
+                        int tlevel, bool is_leaf, WriteReason append_reason,
+                        SequenceNumber smallest_snapshot, FlushDelta* frag);
 
   // Apply a structural delta to the latest version and publish.
   void ApplyToVersion(

@@ -31,6 +31,25 @@ class CompactionStream {
     Advance();
   }
 
+  // Starts the stream at the first record whose user key is >=
+  // `start_user_key` instead of at the beginning.  The seek lands on the
+  // NEWEST version of the boundary key (kMaxSequenceNumber sorts first),
+  // so the per-key shadowing state begins exactly as a full scan would
+  // when reaching that key — subrange outputs concatenate to the full
+  // output (partitioned subcompactions rely on this).
+  CompactionStream(Iterator* input, SequenceNumber smallest_snapshot,
+                   bool bottommost, const Slice& start_user_key)
+      : input_(input),
+        smallest_snapshot_(smallest_snapshot),
+        bottommost_(bottommost) {
+    std::string seek_key;
+    AppendInternalKey(&seek_key, ParsedInternalKey(start_user_key,
+                                                   kMaxSequenceNumber,
+                                                   kValueTypeForSeek));
+    input_->Seek(Slice(seek_key));
+    Advance();
+  }
+
   bool Valid() const { return valid_; }
   Slice key() const { return Slice(current_key_); }
   Slice value() const { return Slice(current_value_); }

@@ -46,6 +46,14 @@ struct DbStats {
   uint64_t pending_debt_bytes = 0;
   uint64_t stall_micros = 0;
   IoStatsSnapshot io;
+  // Two-lane background scheduler: tasks waiting in each pool lane.
+  uint64_t flush_queue_depth = 0;
+  uint64_t compact_queue_depth = 0;
+  // Key-range shards fanned out by partitioned subcompactions (cumulative).
+  uint64_t subcompactions_run = 0;
+  // Total time background I/O spent blocked in the rate limiter
+  // (cumulative; 0 when compaction_rate_limit is off).
+  uint64_t rate_limiter_wait_micros = 0;
 };
 
 class DB {

@@ -8,6 +8,7 @@
 #include "core/filename.h"
 #include "core/leveled/leveled_engine.h"
 #include "table/merging_iterator.h"
+#include "util/crc32c.h"
 #include "util/sync_point.h"
 #include "wal/log_reader.h"
 
@@ -42,13 +43,19 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname)
   block_cache_ = std::make_unique<LruCache>(options.block_cache_capacity);
   options_.table.block_cache = block_cache_.get();
   pool_ = std::make_unique<ThreadPool>(std::max(1, options.background_threads));
+  if (options.compaction_rate_limit > 0) {
+    rate_limiter_ = std::make_unique<RateLimiter>(options.compaction_rate_limit);
+    // Table builds during flush/merge pace their block writes; user writes
+    // go through the WAL + memtable and are never paced.
+    options_.table.rate_limiter = rate_limiter_.get();
+  }
 }
 
 DBImpl::~DBImpl() {
   {
     std::unique_lock<std::mutex> l(mutex_);
     shutting_down_.store(true, std::memory_order_release);
-    while (bg_scheduled_ > 0) bg_cv_.wait(l);
+    while (ScheduledWorkers() > 0) bg_cv_.wait(l);
   }
   pool_.reset();  // joins workers
   if (mem_ != nullptr) mem_->Unref();
@@ -77,6 +84,9 @@ Status ValidateOptions(const Options& options) {
   }
   if (options.background_threads < 1 || options.background_threads > 64) {
     return Status::InvalidArgument("background_threads must be in [1, 64]");
+  }
+  if (options.max_subcompactions < 0 || options.max_subcompactions > 64) {
+    return Status::InvalidArgument("max_subcompactions must be in [0, 64]");
   }
   if (options.engine == EngineType::kAmt) {
     if (options.amt.fanout < 2) {
@@ -610,36 +620,61 @@ void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
 // Background work
 
 void DBImpl::MaybeScheduleBackgroundWork() {
-  while (bg_scheduled_ < pool_->num_threads() &&
-         !shutting_down_.load(std::memory_order_acquire) && bg_error_.ok() &&
-         (imm_ != nullptr || engine_->NeedsCompaction())) {
-    bg_scheduled_++;
-    if (!pool_->Schedule([this] { BackgroundCall(); })) {
+  if (shutting_down_.load(std::memory_order_acquire) || !bg_error_.ok()) {
+    return;
+  }
+  // Flush lane: one dedicated high-lane worker whenever an imm is pending.
+  // Flushes serialize on the single imm slot, so one worker is always
+  // enough — and the high lane guarantees it never queues behind merges.
+  if (imm_ != nullptr && !flush_scheduled_) {
+    flush_scheduled_ = true;
+    if (!pool_->Schedule(ThreadPool::Lane::kHigh, [this] {
+          BackgroundCall(TreeEngine::WorkLane::kFlush);
+        })) {
       // Pool already shutting down (DB teardown): drop the slot; the
       // destructor drains outstanding work itself.
-      bg_scheduled_--;
+      flush_scheduled_ = false;
+      return;
+    }
+  }
+  // Compaction lane: exactly one worker per job the engine could start
+  // right now given what is already running (busy-marking simulated by
+  // RunnableCompactions) — not one per pool slot, which used to wake
+  // workers that immediately found every job conflicted and exited.
+  int slots = pool_->num_threads() - compactions_scheduled_;
+  if (slots <= 0) return;
+  int runnable = engine_->RunnableCompactions(slots);
+  for (int i = 0; i < runnable; i++) {
+    compactions_scheduled_++;
+    if (!pool_->Schedule(ThreadPool::Lane::kLow, [this] {
+          BackgroundCall(TreeEngine::WorkLane::kCompaction);
+        })) {
+      compactions_scheduled_--;
       break;
     }
-    // One scheduling pass per pending work "slot": if there is both an imm
-    // and compactions, multiple workers may be useful; the loop condition
-    // re-checks but we must not spin forever — break after filling slots.
-    if (bg_scheduled_ >= pool_->num_threads()) break;
   }
 }
 
-void DBImpl::BackgroundCall() {
+void DBImpl::BackgroundCall(TreeEngine::WorkLane lane) {
   std::unique_lock<std::mutex> l(mutex_);
   while (!shutting_down_.load(std::memory_order_acquire) && bg_error_.ok()) {
     bool did_work = false;
-    Status s = engine_->BackgroundWork(&did_work);
+    Status s = engine_->BackgroundWork(lane, &did_work);
     if (!s.ok()) {
       bg_error_ = s;
       break;
     }
     if (!did_work) break;
     bg_cv_.notify_all();
+    // One flush per wakeup: the next imm (if any) gets a fresh worker from
+    // the rescheduling pass below, keeping the accounting one-to-one.
+    if (lane == TreeEngine::WorkLane::kFlush) break;
   }
-  bg_scheduled_--;
+  if (lane == TreeEngine::WorkLane::kFlush) {
+    flush_scheduled_ = false;
+  } else {
+    compactions_scheduled_--;
+  }
   // Defense in depth: if runnable work appeared while this worker was
   // deciding to exit (e.g. it skipped jobs that were busy on another
   // thread), hand it to a fresh worker rather than waiting for the next
@@ -686,7 +721,7 @@ Status DBImpl::LogEdit(VersionEdit* edit) {
 Status DBImpl::WaitForQuiescence() {
   std::unique_lock<std::mutex> l(mutex_);
   while (bg_error_.ok() && (imm_ != nullptr || engine_->NeedsCompaction() ||
-                            bg_scheduled_ > 0)) {
+                            ScheduledWorkers() > 0)) {
     MaybeScheduleBackgroundWork();
     bg_cv_.wait(l);
   }
@@ -754,6 +789,61 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     }
     return true;
   }
+  if (property == Slice("iamdb.tree-digest")) {
+    // Deterministic content digest of the published tree, independent of
+    // node ids, file numbers and file layout: per node, its shape and a
+    // CRC of its merged record stream; per level, a CRC of the level's
+    // concatenated record stream (in node order).  subcompaction_test
+    // compares digests across different max_subcompactions settings —
+    // node-level lines for the AMT engine (sharding preserves node
+    // boundaries), "stream" lines for the leveled engine (sharding only
+    // moves file cuts).
+    TreeVersionPtr version = engine_->current_version();
+    ReadOptions digest_read;
+    digest_read.fill_cache = false;
+    for (int level = 0; level < version->num_levels(); level++) {
+      uint32_t level_crc = 0;
+      uint64_t level_entries = 0;
+      for (const auto& node : version->level(level)) {
+        uint32_t node_crc = 0;
+        uint64_t node_entries = 0;
+        if (!node->empty()) {
+          std::shared_ptr<MSTableReader> reader;
+          Status s = node->OpenReader(counting_env_.get(), options_.table,
+                                      &icmp_, dbname_, &reader);
+          if (!s.ok()) return false;
+          std::vector<Iterator*> iters;
+          reader->AddSequenceIterators(digest_read, &iters);
+          std::unique_ptr<Iterator> merged(NewMergingIterator(
+              &icmp_, iters.data(), static_cast<int>(iters.size())));
+          for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+            node_crc = crc32c::Extend(node_crc, merged->key().data(),
+                                      merged->key().size());
+            node_crc = crc32c::Extend(node_crc, merged->value().data(),
+                                      merged->value().size());
+            level_crc = crc32c::Extend(level_crc, merged->key().data(),
+                                       merged->key().size());
+            level_crc = crc32c::Extend(level_crc, merged->value().data(),
+                                       merged->value().size());
+            node_entries++;
+          }
+          if (!merged->status().ok()) return false;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "L%d node lo=%s hi=%s entries=%llu seqs=%u crc=%08x\n",
+                      level, node->range_lo.c_str(), node->range_hi.c_str(),
+                      static_cast<unsigned long long>(node_entries),
+                      node->seq_count, node_crc);
+        value->append(buf);
+        level_entries += node_entries;
+      }
+      std::snprintf(buf, sizeof(buf), "L%d stream entries=%llu crc=%08x\n",
+                    level, static_cast<unsigned long long>(level_entries),
+                    level_crc);
+      value->append(buf);
+    }
+    return true;
+  }
   if (property == Slice("iamdb.approximate-memory-usage")) {
     uint64_t total = block_cache_->usage();
     {
@@ -795,6 +885,12 @@ DbStats DBImpl::GetStats() {
   stats.cache_misses = block_cache_->misses();
   stats.stall_micros = stall_micros_.load(std::memory_order_relaxed);
   stats.io = io_stats_.Snapshot();
+  stats.flush_queue_depth = pool_->QueueDepth(ThreadPool::Lane::kHigh);
+  stats.compact_queue_depth = pool_->QueueDepth(ThreadPool::Lane::kLow);
+  stats.subcompactions_run = subcompactions_.load(std::memory_order_relaxed);
+  if (rate_limiter_ != nullptr) {
+    stats.rate_limiter_wait_micros = rate_limiter_->total_wait_micros();
+  }
   engine_->FillStats(&stats);
   return stats;
 }

@@ -20,6 +20,7 @@
 #include "memtable/memtable.h"
 #include "table/cache.h"
 #include "util/published_ptr.h"
+#include "util/rate_limiter.h"
 #include "util/thread_pool.h"
 #include "wal/log_writer.h"
 
@@ -99,6 +100,17 @@ class DBImpl final : public DB {
 
   uint64_t CurrentLogNumber() const { return log_number_; }  // mutex held
 
+  // Shared background pool (engines fan subcompaction shards out on it; see
+  // util/task_group.h for why that can't deadlock) and the background I/O
+  // budget (null when compaction_rate_limit == 0).  No mutex needed.
+  ThreadPool* pool() { return pool_.get(); }
+  RateLimiter* rate_limiter() { return rate_limiter_.get(); }
+
+  // Counts subcompaction shards fanned out by engines (no mutex).
+  void RecordSubcompactions(uint64_t n) {
+    subcompactions_.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
   friend class DB;
 
@@ -111,7 +123,7 @@ class DBImpl final : public DB {
   Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
   WriteBatch* BuildBatchGroup(WriterItem** last_writer);
   void MaybeScheduleBackgroundWork();  // mutex held
-  void BackgroundCall();
+  void BackgroundCall(TreeEngine::WorkLane lane);
   void RemoveObsoleteFiles();  // mutex held (open/flush time)
   Iterator* NewInternalIterator(const ReadOptions& options,
                                 SequenceNumber* latest_snapshot);
@@ -163,9 +175,18 @@ class DBImpl final : public DB {
   std::unique_ptr<ManifestWriter> manifest_;
   std::unique_ptr<TreeEngine> engine_;
   std::unique_ptr<ThreadPool> pool_;
-  int bg_scheduled_ = 0;
+  std::unique_ptr<RateLimiter> rate_limiter_;
+  // Two-lane scheduling accounting (mutex_): at most one flush worker —
+  // flushes serialize on the single imm anyway — plus one compaction
+  // worker per job the engine says is runnable right now.
+  bool flush_scheduled_ = false;
+  int compactions_scheduled_ = 0;
+  int ScheduledWorkers() const {  // mutex held
+    return (flush_scheduled_ ? 1 : 0) + compactions_scheduled_;
+  }
   Status bg_error_;
   std::atomic<uint64_t> stall_micros_{0};
+  std::atomic<uint64_t> subcompactions_{0};
   RecoveredState recovered_;  // staging between Recover and engine init
 };
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 #include "core/compaction_stream.h"
 #include "core/db_impl.h"
 #include "core/filename.h"
 #include "core/level_iters.h"
 #include "table/merging_iterator.h"
+#include "util/rate_limiter.h"
+#include "util/task_group.h"
 
 namespace iamdb {
 
@@ -77,13 +80,13 @@ uint64_t LeveledEngine::MaxBytesForLevel(int level) const {
   return static_cast<uint64_t>(bytes);
 }
 
-int LeveledEngine::PickCompactionLevel() const {
+int LeveledEngine::PickCompactionLevel(const std::set<int>& busy) const {
   TreeVersionPtr version = current_version();
   const LeveledOptions& opts = db_->options().leveled;
   double best_score = 1.0;
   int best_level = -1;
   // L0 score: file count.
-  if (busy_levels_.count(0) == 0 && busy_levels_.count(1) == 0) {
+  if (busy.count(0) == 0 && busy.count(1) == 0) {
     double score = version->level(0).size() /
                    static_cast<double>(opts.l0_compaction_trigger);
     if (score >= best_score) {
@@ -92,7 +95,7 @@ int LeveledEngine::PickCompactionLevel() const {
     }
   }
   for (int level = 1; level < kNumLevels - 1; level++) {
-    if (busy_levels_.count(level) || busy_levels_.count(level + 1)) continue;
+    if (busy.count(level) || busy.count(level + 1)) continue;
     double score = static_cast<double>(version->LevelBytes(level)) /
                    MaxBytesForLevel(level);
     if (score > best_score) {
@@ -115,7 +118,23 @@ uint64_t LeveledEngine::PendingCompactionDebt() const {
 }
 
 bool LeveledEngine::NeedsCompaction() const {
-  return PickCompactionLevel() >= 0;
+  return PickCompactionLevel(busy_levels_) >= 0;
+}
+
+int LeveledEngine::RunnableCompactions(int max) const {
+  if (max <= 0) return 0;
+  // Simulate the scheduler: each pick occupies its input and output
+  // levels, so concurrent compactions operate on disjoint level pairs.
+  std::set<int> busy = busy_levels_;
+  int count = 0;
+  while (count < max) {
+    int level = PickCompactionLevel(busy);
+    if (level < 0) break;
+    busy.insert(level);
+    busy.insert(level + 1);
+    count++;
+  }
+  return count;
 }
 
 TreeEngine::WritePressure LeveledEngine::GetWritePressure() const {
@@ -136,18 +155,21 @@ TreeEngine::WritePressure LeveledEngine::GetWritePressure() const {
   return WritePressure::kNone;
 }
 
-Status LeveledEngine::BackgroundWork(bool* did_work) {
+Status LeveledEngine::BackgroundWork(WorkLane lane, bool* did_work) {
   *did_work = false;
-  if (db_->imm() != nullptr && !imm_flush_running_) {
+  if (lane == WorkLane::kFlush) {
+    if (db_->imm() == nullptr || imm_flush_running_) return Status::OK();
+    RateLimiter::ScopedPriority prio(RateLimiter::IoPriority::kHigh);
     imm_flush_running_ = true;
     Status s = FlushImm();
     imm_flush_running_ = false;
     *did_work = true;
     return s;
   }
-  int level = PickCompactionLevel();
+  int level = PickCompactionLevel(busy_levels_);
   if (level < 0) return Status::OK();
   *did_work = true;
+  RateLimiter::ScopedPriority prio(RateLimiter::IoPriority::kLow);
   busy_levels_.insert(level);
   busy_levels_.insert(level + 1);
   Status s = CompactLevel(level);
@@ -268,6 +290,113 @@ std::vector<NodePtr> LeveledEngine::OverlappingInputs(
   return result;
 }
 
+Status LeveledEngine::CompactSubrange(
+    const std::vector<NodePtr>& inputs0,
+    const std::vector<NodePtr>& inputs1_group, const std::string* start,
+    const std::string* stop, SequenceNumber smallest_snapshot, bool bottommost,
+    std::vector<NodePtr>* outputs, uint64_t* written_bytes,
+    uint64_t* meta_bytes) {
+  const Options& options = db_->options();
+
+  Status s;
+  std::vector<Iterator*> input_iters;
+  ReadOptions read_options;
+  read_options.fill_cache = false;
+  read_options.rate_limiter = db_->rate_limiter();
+  for (const auto* inputs : {&inputs0, &inputs1_group}) {
+    for (const auto& node : *inputs) {
+      std::shared_ptr<MSTableReader> reader;
+      s = node->OpenReader(db_->env(), options.table, db_->icmp(),
+                           db_->dbname(), &reader);
+      if (!s.ok()) break;
+      reader->AddSequenceIterators(read_options, &input_iters);
+    }
+    if (!s.ok()) break;
+  }
+  if (!s.ok()) {
+    for (Iterator* iter : input_iters) delete iter;
+    return s;
+  }
+
+  Iterator* merged = NewMergingIterator(db_->icmp(), input_iters.data(),
+                                        static_cast<int>(input_iters.size()));
+  std::unique_ptr<CompactionStream> stream;
+  if (start != nullptr) {
+    stream = std::make_unique<CompactionStream>(merged, smallest_snapshot,
+                                                bottommost, Slice(*start));
+  } else {
+    stream = std::make_unique<CompactionStream>(merged, smallest_snapshot,
+                                                bottommost);
+  }
+
+  std::unique_ptr<MSTableWriter> writer;
+  uint64_t out_file_number = 0, out_node_id = 0;
+  MSTableBuildResult result;
+  auto finish_output = [&]() -> Status {
+    if (writer == nullptr) return Status::OK();
+    Status fs = writer->Finish(/*sync=*/true, &result);
+    if (!fs.ok()) return fs;
+    auto node = std::make_shared<NodeMeta>();
+    node->node_id = out_node_id;
+    node->file_number = out_file_number;
+    node->meta_end = result.meta_end;
+    node->data_bytes = result.data_bytes;
+    node->num_entries = result.num_entries;
+    node->seq_count = result.seq_count;
+    node->smallest_ikey = result.smallest;
+    node->largest_ikey = result.largest;
+    node->range_lo = ExtractUserKey(result.smallest).ToString();
+    node->range_hi = ExtractUserKey(result.largest).ToString();
+    node->lifetime = std::make_shared<FileLifetime>(
+        db_->env(), TableFileName(db_->dbname(), out_file_number));
+    outputs->push_back(std::move(node));
+    *written_bytes += result.data_bytes;
+    *meta_bytes += result.meta_bytes;
+    writer.reset();
+    return Status::OK();
+  };
+
+  std::string last_user_key;
+  while (stream->Valid() && s.ok()) {
+    Slice user_key = ExtractUserKey(stream->key());
+    // The boundary key itself belongs to the next shard (its stream seeks
+    // to the key's newest version, so no record is emitted twice).
+    if (stop != nullptr && user_key.compare(Slice(*stop)) >= 0) break;
+    // Cut outputs only at user-key boundaries: all versions of a key
+    // stay in one file, keeping level ranges user-key-disjoint (the
+    // invariant the point-read binary search relies on).
+    if (writer != nullptr &&
+        writer->EstimatedDataBytes() >= options.leveled.target_file_size &&
+        user_key != Slice(last_user_key)) {
+      s = finish_output();
+      if (!s.ok()) break;
+    }
+    if (writer == nullptr) {
+      {
+        std::lock_guard<std::mutex> l(db_->mutex());
+        out_file_number = db_->NewFileNumber();
+        out_node_id = db_->NewNodeId();
+      }
+      writer = std::make_unique<MSTableWriter>(
+          db_->env(), options.table,
+          TableFileName(db_->dbname(), out_file_number));
+      s = writer->Open();
+      if (!s.ok()) break;
+    }
+    s = writer->Add(stream->key(), stream->value());
+    if (!s.ok()) break;
+    last_user_key.assign(user_key.data(), user_key.size());
+    stream->Next();
+  }
+  if (s.ok()) s = stream->status();
+  if (s.ok()) {
+    s = finish_output();
+  } else if (writer != nullptr) {
+    writer->Abandon();
+  }
+  return s;
+}
+
 Status LeveledEngine::CompactLevel(int level) {
   // Mutex held on entry.
   TreeVersionPtr version = current_version();
@@ -352,104 +481,74 @@ Status LeveledEngine::CompactLevel(int level) {
 
   db_->mutex().unlock();
 
-  // Merge all input sequences.
-  Status s;
-  std::vector<Iterator*> input_iters;
-  ReadOptions read_options;
-  read_options.fill_cache = false;
-  for (const auto& node : inputs0) {
-    std::shared_ptr<MSTableReader> reader;
-    s = node->OpenReader(db_->env(), options.table, db_->icmp(),
-                         db_->dbname(), &reader);
-    if (!s.ok()) break;
-    reader->AddSequenceIterators(read_options, &input_iters);
-  }
-  if (s.ok()) {
-    for (const auto& node : inputs1) {
-      std::shared_ptr<MSTableReader> reader;
-      s = node->OpenReader(db_->env(), options.table, db_->icmp(),
-                           db_->dbname(), &reader);
-      if (!s.ok()) break;
-      reader->AddSequenceIterators(read_options, &input_iters);
-    }
-  }
-  if (!s.ok()) {
-    for (Iterator* iter : input_iters) delete iter;
-    db_->mutex().lock();
-    return s;
-  }
+  // Partitioned subcompaction: with several next-level inputs the merge
+  // splits into contiguous key-range shards along inputs1 node boundaries.
+  // Each shard merges ALL of inputs0 (bounded by the shard's range) with
+  // its own slice of inputs1 — inputs1 nodes are user-key-disjoint, so
+  // each belongs to exactly one shard and shards write disjoint outputs.
+  int fan = options.max_subcompactions > 0 ? options.max_subcompactions
+                                           : options.background_threads;
+  fan = std::min<int>(fan, static_cast<int>(inputs1.size()));
 
-  struct Output {
-    NodePtr node;
-  };
+  Status s;
   std::vector<NodePtr> outputs;
   uint64_t written_bytes = 0, meta_bytes = 0;
 
-  {
-    Iterator* merged = NewMergingIterator(
-        db_->icmp(), input_iters.data(), static_cast<int>(input_iters.size()));
-    CompactionStream stream(merged, smallest_snapshot, bottommost);
-
-    std::unique_ptr<MSTableWriter> writer;
-    uint64_t out_file_number = 0, out_node_id = 0;
-    MSTableBuildResult result;
-    auto finish_output = [&]() -> Status {
-      if (writer == nullptr) return Status::OK();
-      Status fs = writer->Finish(/*sync=*/true, &result);
-      if (!fs.ok()) return fs;
-      auto node = std::make_shared<NodeMeta>();
-      node->node_id = out_node_id;
-      node->file_number = out_file_number;
-      node->meta_end = result.meta_end;
-      node->data_bytes = result.data_bytes;
-      node->num_entries = result.num_entries;
-      node->seq_count = result.seq_count;
-      node->smallest_ikey = result.smallest;
-      node->largest_ikey = result.largest;
-      node->range_lo = ExtractUserKey(result.smallest).ToString();
-      node->range_hi = ExtractUserKey(result.largest).ToString();
-      node->lifetime = std::make_shared<FileLifetime>(
-          db_->env(), TableFileName(db_->dbname(), out_file_number));
-      outputs.push_back(std::move(node));
-      written_bytes += result.data_bytes;
-      meta_bytes += result.meta_bytes;
-      writer.reset();
-      return Status::OK();
-    };
-
-    std::string last_user_key;
-    while (stream.Valid() && s.ok()) {
-      Slice user_key = ExtractUserKey(stream.key());
-      // Cut outputs only at user-key boundaries: all versions of a key
-      // stay in one file, keeping level ranges user-key-disjoint (the
-      // invariant the point-read binary search relies on).
-      if (writer != nullptr &&
-          writer->EstimatedDataBytes() >= options.leveled.target_file_size &&
-          user_key != Slice(last_user_key)) {
-        s = finish_output();
-        if (!s.ok()) break;
+  if (fan <= 1) {
+    s = CompactSubrange(inputs0, inputs1, nullptr, nullptr, smallest_snapshot,
+                        bottommost, &outputs, &written_bytes, &meta_bytes);
+  } else {
+    // Contiguous groups of inputs1 balanced by data bytes.
+    uint64_t total = 0;
+    for (const auto& node : inputs1) total += node->data_bytes;
+    std::vector<std::vector<NodePtr>> groups;
+    groups.emplace_back();
+    uint64_t per_group = total / fan + 1;
+    uint64_t acc = 0;
+    for (const auto& node : inputs1) {
+      if (acc >= per_group && static_cast<int>(groups.size()) < fan) {
+        groups.emplace_back();
+        acc = 0;
       }
-      if (writer == nullptr) {
-        db_->mutex().lock();
-        out_file_number = db_->NewFileNumber();
-        out_node_id = db_->NewNodeId();
-        db_->mutex().unlock();
-        writer = std::make_unique<MSTableWriter>(
-            db_->env(), options.table,
-            TableFileName(db_->dbname(), out_file_number));
-        s = writer->Open();
-        if (!s.ok()) break;
-      }
-      s = writer->Add(stream.key(), stream.value());
-      if (!s.ok()) break;
-      last_user_key.assign(user_key.data(), user_key.size());
-      stream.Next();
+      groups.back().push_back(node);
+      acc += node->data_bytes;
     }
-    if (s.ok()) s = stream.status();
-    if (s.ok()) {
-      s = finish_output();
-    } else if (writer != nullptr) {
-      writer->Abandon();
+    const size_t num_groups = groups.size();
+    // Shard boundaries: each non-first group starts at its first node's
+    // range_lo.  inputs0 records below the first boundary go to shard 0,
+    // and each record lands in exactly one shard.
+    std::vector<std::string> starts(num_groups);
+    for (size_t g = 1; g < num_groups; g++) {
+      starts[g] = groups[g].front()->range_lo;
+    }
+    std::vector<std::vector<NodePtr>> shard_outputs(num_groups);
+    std::vector<uint64_t> shard_written(num_groups, 0);
+    std::vector<uint64_t> shard_meta(num_groups, 0);
+
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(num_groups);
+    for (size_t g = 0; g < num_groups; g++) {
+      tasks.push_back([&, g]() -> Status {
+        // Pool helpers carry no priority scope of their own.
+        RateLimiter::ScopedPriority p(RateLimiter::IoPriority::kLow);
+        const std::string* start = g == 0 ? nullptr : &starts[g];
+        const std::string* stop = g + 1 < num_groups ? &starts[g + 1] : nullptr;
+        return CompactSubrange(inputs0, groups[g], start, stop,
+                               smallest_snapshot, bottommost,
+                               &shard_outputs[g], &shard_written[g],
+                               &shard_meta[g]);
+      });
+    }
+    db_->RecordSubcompactions(tasks.size());
+    s = TaskGroup::RunAll(db_->pool(), ThreadPool::Lane::kLow,
+                          std::move(tasks));
+    // Concatenate in shard order (shards cover increasing disjoint ranges,
+    // so this is also range order); collect even on failure so every
+    // written file gets obsoleted below.
+    for (size_t g = 0; g < num_groups; g++) {
+      for (auto& node : shard_outputs[g]) outputs.push_back(std::move(node));
+      written_bytes += shard_written[g];
+      meta_bytes += shard_meta[g];
     }
   }
 

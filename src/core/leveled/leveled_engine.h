@@ -34,7 +34,8 @@ class LeveledEngine final : public TreeEngine {
 
   Status Recover(const RecoveredState& state) override;
   bool NeedsCompaction() const override;
-  Status BackgroundWork(bool* did_work) override;
+  int RunnableCompactions(int max) const override;
+  Status BackgroundWork(WorkLane lane, bool* did_work) override;
   Status Get(const ReadOptions& options, const LookupKey& key,
              std::string* value) override;
   void AddIterators(const ReadOptions& options,
@@ -48,13 +49,26 @@ class LeveledEngine final : public TreeEngine {
 
  private:
   uint64_t MaxBytesForLevel(int level) const;
-  // Highest-scoring compactable level not currently busy; -1 if none >= 1.
-  int PickCompactionLevel() const;
+  // Highest-scoring compactable level whose input+output levels are not in
+  // `busy`; -1 if none scores >= 1.
+  int PickCompactionLevel(const std::set<int>& busy) const;
   uint64_t PendingCompactionDebt() const;
 
   // I/O steps; called with the DB mutex held, unlock around file writes.
   Status FlushImm();
   Status CompactLevel(int level);
+
+  // One key-range shard of a partitioned compaction: merges all of
+  // `inputs0` with `inputs1_group` over the user-key span
+  // [*start, *stop) — null bounds mean open-ended — cutting outputs at
+  // target_file_size.  Runs on pool helpers; appends to *outputs and the
+  // byte counters only (the caller owns the VersionEdit).  Mutex NOT held.
+  Status CompactSubrange(const std::vector<NodePtr>& inputs0,
+                         const std::vector<NodePtr>& inputs1_group,
+                         const std::string* start, const std::string* stop,
+                         SequenceNumber smallest_snapshot, bool bottommost,
+                         std::vector<NodePtr>* outputs,
+                         uint64_t* written_bytes, uint64_t* meta_bytes);
 
   // Mutex held: apply removed/added to the current version and publish.
   void ApplyToVersion(const std::vector<NodePtr>& removed,

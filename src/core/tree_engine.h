@@ -24,6 +24,13 @@ class TreeEngine {
  public:
   enum class WritePressure { kNone, kSlowdown, kStop };
 
+  // Which scheduler lane a background worker serves.  kFlush work is what
+  // the write path hard-stalls on (imm flushes, plus any structural job
+  // that must run first to unblock one); kCompaction is everything else.
+  // DBImpl keeps one dedicated kFlush worker so a flush never queues
+  // behind merges (docs/CONCURRENCY.md, "Two-lane background scheduling").
+  enum class WorkLane { kFlush, kCompaction };
+
   virtual ~TreeEngine() = default;
 
   // Build the in-memory tree from recovered manifest state (open time; no
@@ -34,11 +41,18 @@ class TreeEngine {
   // Called with the DB mutex held.
   virtual bool NeedsCompaction() const = 0;
 
-  // Perform one unit of background work: an imm flush if one is pending,
-  // otherwise one compaction step.  Called with the DB mutex HELD; the
-  // implementation unlocks around I/O.  *did_work=false when there was
-  // nothing runnable (everything pending is busy on other threads).
-  virtual Status BackgroundWork(bool* did_work) = 0;
+  // How many compaction-lane jobs could run RIGHT NOW without conflicting
+  // with each other or with running jobs (busy-marking simulated), capped
+  // at `max`.  DBImpl schedules exactly this many compaction workers
+  // instead of blindly filling the pool.  DB mutex held.
+  virtual int RunnableCompactions(int max) const = 0;
+
+  // Perform one unit of background work on the given lane: kFlush runs an
+  // imm flush (or a prerequisite that unblocks one), kCompaction runs one
+  // compaction step.  Called with the DB mutex HELD; the implementation
+  // unlocks around I/O.  *did_work=false when there was nothing runnable
+  // on that lane (everything pending is busy on other threads).
+  virtual Status BackgroundWork(WorkLane lane, bool* did_work) = 0;
 
   // Lock-free read path (no DB mutex): reads a published tree version.
   virtual Status Get(const ReadOptions& options, const LookupKey& key,

@@ -214,6 +214,10 @@ enum StatsTag : uint32_t {
   kTagIoWriteOps = 16,
   kTagIoReadOps = 17,
   kTagIoFsyncs = 18,
+  kTagFlushQueueDepth = 19,
+  kTagCompactQueueDepth = 20,
+  kTagSubcompactionsRun = 21,
+  kTagRateLimiterWaitMicros = 22,
 };
 
 void PutField(std::string* dst, uint32_t tag, const std::string& bytes) {
@@ -281,6 +285,10 @@ void EncodeDbStats(const DbStats& stats, std::string* dst) {
   PutU64Field(dst, kTagIoWriteOps, stats.io.write_ops);
   PutU64Field(dst, kTagIoReadOps, stats.io.read_ops);
   PutU64Field(dst, kTagIoFsyncs, stats.io.fsyncs);
+  PutU64Field(dst, kTagFlushQueueDepth, stats.flush_queue_depth);
+  PutU64Field(dst, kTagCompactQueueDepth, stats.compact_queue_depth);
+  PutU64Field(dst, kTagSubcompactionsRun, stats.subcompactions_run);
+  PutU64Field(dst, kTagRateLimiterWaitMicros, stats.rate_limiter_wait_micros);
 }
 
 bool DecodeDbStats(Slice payload, DbStats* stats) {
@@ -364,6 +372,18 @@ bool DecodeDbStats(Slice payload, DbStats* stats) {
         break;
       case kTagIoFsyncs:
         if (!get_u64(&stats->io.fsyncs)) return false;
+        break;
+      case kTagFlushQueueDepth:
+        if (!get_u64(&stats->flush_queue_depth)) return false;
+        break;
+      case kTagCompactQueueDepth:
+        if (!get_u64(&stats->compact_queue_depth)) return false;
+        break;
+      case kTagSubcompactionsRun:
+        if (!get_u64(&stats->subcompactions_run)) return false;
+        break;
+      case kTagRateLimiterWaitMicros:
+        if (!get_u64(&stats->rate_limiter_wait_micros)) return false;
         break;
       default:
         break;  // forward compatibility: skip unknown field

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/rate_limiter.h"
+
 namespace iamdb {
 
 SequenceBuilder::SequenceBuilder(const TableOptions& options,
@@ -51,6 +53,11 @@ Status SequenceBuilder::Add(const Slice& internal_key, const Slice& value) {
 Status SequenceBuilder::FlushDataBlock() {
   if (data_block_.empty()) return Status::OK();
   Slice contents = data_block_.Finish();
+  // Pace before issuing the write; FlushDataBlock always runs in an
+  // unlocked I/O section (never under the DB mutex), which Request requires.
+  if (options_.rate_limiter != nullptr) {
+    options_.rate_limiter->Request(contents.size());
+  }
   Status s = WriteBlock(file_, offset_, contents, &pending_handle_);
   if (!s.ok()) return s;
   offset_ += contents.size() + 4;  // + crc

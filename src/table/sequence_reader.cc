@@ -1,6 +1,7 @@
 #include "table/sequence_reader.h"
 
 #include "table/two_level_iterator.h"
+#include "util/rate_limiter.h"
 
 namespace iamdb {
 
@@ -32,6 +33,11 @@ std::shared_ptr<const Block> SequenceReader::ReadDataBlock(
     if (cached != nullptr) return cached;
   }
 
+  // Cache miss: pace the device read if the caller (a compaction) carries
+  // the background I/O budget.  Foreground ReadOptions leave this null.
+  if (options.rate_limiter != nullptr) {
+    options.rate_limiter->Request(handle.size());
+  }
   std::string contents;
   *s = ReadBlockContents(file_, handle,
                          options.verify_checksums || options_.verify_checksums,

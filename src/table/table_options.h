@@ -6,6 +6,7 @@
 namespace iamdb {
 
 class LruCache;
+class RateLimiter;
 
 struct TableOptions {
   // Target uncompressed size of a data block (paper: records are
@@ -23,6 +24,12 @@ struct TableOptions {
 
   // Block cache, or nullptr to read through.  Not owned.
   LruCache* block_cache = nullptr;
+
+  // Paces table-build writes (compaction/flush output) when non-null; the
+  // priority comes from the calling thread (RateLimiter::ScopedPriority).
+  // Not owned.  Foreground WAL writes never pass through the table layer,
+  // so user writes are never paced.
+  RateLimiter* rate_limiter = nullptr;
 };
 
 }  // namespace iamdb

@@ -1,0 +1,88 @@
+#include "util/rate_limiter.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace iamdb {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local RateLimiter::IoPriority tls_priority =
+    RateLimiter::IoPriority::kLow;
+
+}  // namespace
+
+RateLimiter::IoPriority RateLimiter::ThreadPriority() { return tls_priority; }
+
+RateLimiter::ScopedPriority::ScopedPriority(IoPriority priority)
+    : saved_(tls_priority) {
+  tls_priority = priority;
+}
+
+RateLimiter::ScopedPriority::~ScopedPriority() { tls_priority = saved_; }
+
+RateLimiter::RateLimiter(uint64_t bytes_per_second)
+    : bytes_per_second_(bytes_per_second),
+      // 100ms worth of budget; large enough that block-sized requests don't
+      // wake per block at realistic rates, small enough to bound bursts.
+      burst_bytes_(std::max<uint64_t>(bytes_per_second / 10, 64 << 10)),
+      last_refill_micros_(NowMicros()) {}
+
+void RateLimiter::Refill(uint64_t now_micros) {
+  if (now_micros <= last_refill_micros_) return;
+  uint64_t elapsed = now_micros - last_refill_micros_;
+  uint64_t add = elapsed * bytes_per_second_ / 1000000;
+  if (add == 0) return;  // keep the remainder accruing
+  available_ = std::min(available_ + add, burst_bytes_);
+  last_refill_micros_ = now_micros;
+}
+
+void RateLimiter::Request(uint64_t bytes) {
+  if (bytes_per_second_ == 0 || bytes == 0) return;
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  const IoPriority priority = tls_priority;
+  // Requests larger than the bucket are charged in bucket-sized chunks so
+  // one huge write cannot monopolize (or deadlock on) the budget.
+  while (bytes > 0) {
+    uint64_t chunk = std::min(bytes, burst_bytes_);
+    RequestChunk(chunk, priority);
+    bytes -= chunk;
+  }
+}
+
+void RateLimiter::RequestChunk(uint64_t bytes, IoPriority priority) {
+  std::unique_lock<std::mutex> l(mu_);
+  const uint64_t start = NowMicros();
+  Refill(start);
+  if (priority == IoPriority::kHigh) high_waiters_++;
+  bool waited = false;
+  while (available_ < bytes ||
+         (priority == IoPriority::kLow && high_waiters_ > 0)) {
+    waited = true;
+    // Sleep roughly until the deficit refills; re-check on wake.  Waking a
+    // touch early just loops; late just means coarser pacing.
+    uint64_t deficit = available_ < bytes ? bytes - available_ : bytes;
+    uint64_t wait_us =
+        std::max<uint64_t>(deficit * 1000000 / bytes_per_second_, 100);
+    cv_.wait_for(l, std::chrono::microseconds(wait_us));
+    Refill(NowMicros());
+  }
+  available_ -= bytes;
+  if (priority == IoPriority::kHigh) {
+    high_waiters_--;
+    if (high_waiters_ == 0) cv_.notify_all();  // release yielding low waiters
+  }
+  if (waited) {
+    total_wait_micros_.fetch_add(NowMicros() - start,
+                                 std::memory_order_relaxed);
+  }
+}
+
+}  // namespace iamdb

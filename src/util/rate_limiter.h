@@ -1,0 +1,80 @@
+// Token-bucket pacing for background (compaction/flush) I/O, so a burst of
+// merge traffic cannot saturate the device and starve foreground reads —
+// the stall mechanism Luo & Carey identify in un-paced LSM compaction.
+//
+// Bytes are charged *before* the I/O they pace.  Two priorities: kHigh
+// (flush I/O — the write path stalls behind it) is served before kLow
+// (merge I/O); a low-priority waiter yields while any high-priority
+// request is waiting, so pacing never converts a merge into a flush stall.
+//
+// Locking: the limiter's internal mutex is a leaf lock.  Request() blocks,
+// so it must only be called from unlocked I/O sections — never with the DB
+// mutex (or any other lock) held.  Table builders/readers call it from
+// exactly such sections.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace iamdb {
+
+class RateLimiter {
+ public:
+  enum class IoPriority { kHigh, kLow };
+
+  // bytes_per_second == 0 disables pacing (every Request returns
+  // immediately).
+  explicit RateLimiter(uint64_t bytes_per_second);
+
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
+  // Blocks until `bytes` of budget is available at the calling thread's
+  // current priority (see ScopedPriority), then consumes it.
+  void Request(uint64_t bytes);
+
+  uint64_t bytes_per_second() const { return bytes_per_second_; }
+  uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_wait_micros() const {
+    return total_wait_micros_.load(std::memory_order_relaxed);
+  }
+
+  // The priority Request() charges at, carried thread-locally so the table
+  // layer needs no plumbing: flush executors enter a kHigh scope, and every
+  // builder/reader call under them is paced as flush I/O.  Default: kLow.
+  static IoPriority ThreadPriority();
+
+  class ScopedPriority {
+   public:
+    explicit ScopedPriority(IoPriority priority);
+    ~ScopedPriority();
+
+    ScopedPriority(const ScopedPriority&) = delete;
+    ScopedPriority& operator=(const ScopedPriority&) = delete;
+
+   private:
+    IoPriority saved_;
+  };
+
+ private:
+  void RequestChunk(uint64_t bytes, IoPriority priority);
+  void Refill(uint64_t now_micros);
+
+  const uint64_t bytes_per_second_;
+  const uint64_t burst_bytes_;  // bucket capacity (one refill quantum)
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t available_ = 0;
+  uint64_t last_refill_micros_ = 0;
+  int high_waiters_ = 0;
+
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> total_wait_micros_{0};
+};
+
+}  // namespace iamdb

@@ -1,0 +1,66 @@
+#include "util/task_group.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace iamdb {
+
+namespace {
+
+struct GroupState {
+  std::vector<std::function<Status()>> tasks;
+  std::vector<Status> results;
+  std::atomic<size_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t finished = 0;
+
+  // Claims and runs tasks until the claim index runs out.
+  void Drain() {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      Status s = tasks[i]();
+      std::lock_guard<std::mutex> l(mu);
+      results[i] = std::move(s);
+      finished++;
+      if (finished == tasks.size()) cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+Status TaskGroup::RunAll(ThreadPool* pool, ThreadPool::Lane lane,
+                         std::vector<std::function<Status()>> tasks) {
+  if (tasks.empty()) return Status::OK();
+  if (tasks.size() == 1) return tasks[0]();
+
+  auto state = std::make_shared<GroupState>();
+  state->results.resize(tasks.size());
+  state->tasks = std::move(tasks);
+
+  // Helpers are best-effort: a full or shutting-down pool just means the
+  // caller runs more of the tasks itself.
+  const size_t helpers = state->tasks.size() - 1;
+  for (size_t i = 0; i < helpers; i++) {
+    if (!pool->Schedule(lane, [state] { state->Drain(); })) break;
+  }
+  state->Drain();
+
+  // Wait for helper-claimed tasks.  Helpers hold only a shared_ptr to the
+  // state, so the group outlives any helper still inside Drain().
+  {
+    std::unique_lock<std::mutex> l(state->mu);
+    state->cv.wait(l, [&] { return state->finished == state->tasks.size(); });
+  }
+  for (Status& s : state->results) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace iamdb

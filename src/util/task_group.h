@@ -1,0 +1,31 @@
+// TaskGroup: run a batch of independent Status-returning tasks on a
+// ThreadPool and wait for all of them, with the calling thread itself
+// claiming tasks.  Subcompactions fan out through this.
+//
+// The caller-runs design is what makes fan-out from inside a pool worker
+// safe: a background worker that shards its merge job across the same pool
+// it is running on would deadlock a 1-thread pool (and convoy an N-thread
+// one) if it only enqueued and waited.  Here the pool helpers are pure
+// opportunism — every task not yet started by a helper is executed by the
+// caller, so the group always completes even if no helper ever runs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace iamdb {
+
+class TaskGroup {
+ public:
+  // Runs every task, using up to tasks.size()-1 pool helpers on `lane` plus
+  // the calling thread.  Returns the first non-OK status in task order
+  // (remaining tasks still run to completion — partial-failure cleanup is
+  // the caller's job, and it needs every task finished to do it safely).
+  static Status RunAll(ThreadPool* pool, ThreadPool::Lane lane,
+                       std::vector<std::function<Status()>> tasks);
+};
+
+}  // namespace iamdb

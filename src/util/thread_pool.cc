@@ -21,11 +21,11 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-bool ThreadPool::Schedule(std::function<void()> work) {
+bool ThreadPool::Schedule(Lane lane, std::function<void()> work) {
   {
     std::lock_guard<std::mutex> l(mu_);
     if (shutting_down_) return false;
-    queue_.push_back(std::move(work));
+    (lane == Lane::kHigh ? high_queue_ : low_queue_).push_back(std::move(work));
   }
   work_cv_.notify_one();
   return true;
@@ -33,27 +33,39 @@ bool ThreadPool::Schedule(std::function<void()> work) {
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> l(mu_);
-  idle_cv_.wait(l, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(l, [this] {
+    return high_queue_.empty() && low_queue_.empty() && active_ == 0;
+  });
 }
 
 size_t ThreadPool::QueueDepth() {
   std::lock_guard<std::mutex> l(mu_);
-  return queue_.size();
+  return high_queue_.size() + low_queue_.size();
+}
+
+size_t ThreadPool::QueueDepth(Lane lane) {
+  std::lock_guard<std::mutex> l(mu_);
+  return lane == Lane::kHigh ? high_queue_.size() : low_queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> l(mu_);
   while (true) {
-    work_cv_.wait(l, [this] { return shutting_down_ || !queue_.empty(); });
-    if (shutting_down_ && queue_.empty()) return;
-    std::function<void()> work = std::move(queue_.front());
-    queue_.pop_front();
+    work_cv_.wait(l, [this] {
+      return shutting_down_ || !high_queue_.empty() || !low_queue_.empty();
+    });
+    if (shutting_down_ && high_queue_.empty() && low_queue_.empty()) return;
+    auto& queue = !high_queue_.empty() ? high_queue_ : low_queue_;
+    std::function<void()> work = std::move(queue.front());
+    queue.pop_front();
     active_++;
     l.unlock();
     work();
     l.lock();
     active_--;
-    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    if (high_queue_.empty() && low_queue_.empty() && active_ == 0) {
+      idle_cv_.notify_all();
+    }
   }
 }
 

@@ -37,6 +37,12 @@ void PrintStats(const DbStats& stats) {
               stats.cache_usage, stats.cache_hits, stats.cache_misses);
   std::printf("stall_micros:      %" PRIu64 "\n", stats.stall_micros);
   std::printf("pending_debt:      %" PRIu64 "B\n", stats.pending_debt_bytes);
+  std::printf("bg queues:         %" PRIu64 " flush / %" PRIu64
+              " compaction\n",
+              stats.flush_queue_depth, stats.compact_queue_depth);
+  std::printf("subcompactions:    %" PRIu64 "\n", stats.subcompactions_run);
+  std::printf("rate_limit_wait:   %" PRIu64 "us\n",
+              stats.rate_limiter_wait_micros);
   if (stats.mixed_level > 0) {
     std::printf("mixed level:       m=%d k=%d\n", stats.mixed_level,
                 stats.mixed_level_k);

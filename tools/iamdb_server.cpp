@@ -3,6 +3,7 @@
 //
 //   iamdb_server --db=/path/to/db [--port=4490] [--host=127.0.0.1]
 //                [--engine=iam|lsa|leveled] [--threads=4]
+//                [--bg_threads=N] [--subcompactions=N] [--rate_limit_mb=N]
 //                [--cache_mb=64] [--sync_wal]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
@@ -39,7 +40,8 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --db=<dir> [--port=N] [--host=ADDR] "
-               "[--engine=iam|lsa|leveled] [--threads=N] [--cache_mb=N] "
+               "[--engine=iam|lsa|leveled] [--threads=N] [--bg_threads=N] "
+               "[--subcompactions=N] [--rate_limit_mb=N] [--cache_mb=N] "
                "[--sync_wal]\n",
                argv0);
   return 2;
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   server_options.port = 4490;
   Options db_options;
   db_options.env = Env::Default();
+  int bg_threads = 0;  // 0 = derive from the machine / worker count
 
   for (int i = 1; i < argc; i++) {
     std::string v;
@@ -64,6 +67,13 @@ int main(int argc, char** argv) {
       server_options.host = v;
     } else if (ParseFlag(argv[i], "threads", &v)) {
       server_options.num_workers = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "bg_threads", &v)) {
+      bg_threads = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "subcompactions", &v)) {
+      db_options.max_subcompactions = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "rate_limit_mb", &v)) {
+      db_options.compaction_rate_limit =
+          static_cast<uint64_t>(std::atoll(v.c_str())) << 20;
     } else if (ParseFlag(argv[i], "cache_mb", &v)) {
       db_options.block_cache_capacity =
           static_cast<uint64_t>(std::atoll(v.c_str())) << 20;
@@ -88,8 +98,12 @@ int main(int argc, char** argv) {
     }
   }
   if (dbdir.empty()) return Usage(argv[0]);
+  // --bg_threads wins; otherwise take the larger of the hardware-derived
+  // default and half the request workers.
   db_options.background_threads =
-      std::max(1, server_options.num_workers / 2);
+      bg_threads > 0 ? bg_threads
+                     : std::max(db_options.background_threads,
+                                std::max(1, server_options.num_workers / 2));
 
   std::unique_ptr<DB> db;
   Status s = DB::Open(db_options, dbdir, &db);
