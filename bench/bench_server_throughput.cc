@@ -1,17 +1,23 @@
 // Loopback throughput/latency for the network serving layer: PUT and GET
-// ops/sec + p50/p99 at 1, 4 and 16 client connections against an
-// in-process iamdb Server.  Unlike the paper benches (modeled device
-// time), this measures real wall-clock through the full wire path:
+// ops/sec + p50/p99/p999 at 1, 4 and 16 client connections against an
+// in-process iamdb Server, then the event-driven axes: pipelined GETs at
+// depth 1/8/64 and MGET at batch 1/8/64, both at 16 connections.  Unlike
+// the paper benches (modeled device time), this measures real wall-clock
+// through the full wire path:
 // encode -> TCP -> decode -> dispatch -> DB -> respond.
 //
-// One JSON line per (op, connections) cell, e.g.:
+// One JSON line per cell, e.g.:
 //   {"bench":"server_throughput","op":"put","connections":4,"ops":40000,
-//    "ops_per_sec":123456.7,"p50_us":30.1,"p99_us":210.9}
+//    "ops_per_sec":123456.7,"p50_us":30.1,"p99_us":210.9,...,"cpus":1}
+//   {"bench":"server_async","op":"pipelined_get","connections":16,
+//    "depth":8,...}
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/db.h"
@@ -90,6 +96,106 @@ CellResult RunCell(int port, int connections, uint64_t ops_per_conn,
   return result;
 }
 
+// Each thread keeps `depth` GETs in flight on one connection via the
+// pipelined Submit/Wait API.  Latency is per request, submit to claim.
+CellResult RunPipelinedGetCell(int port, int connections,
+                               uint64_t ops_per_conn, uint64_t key_space,
+                               int depth) {
+  std::vector<Histogram> histograms(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const double start = NowMicros();
+  for (int c = 0; c < connections; c++) {
+    threads.emplace_back([&, c] {
+      ClientOptions options;
+      options.port = port;
+      Client client(options);
+      Random64 rnd(2000 + c);
+      std::deque<std::pair<uint64_t, double>> window;  // (id, submit time)
+      auto claim_front = [&] {
+        auto [id, submitted] = window.front();
+        window.pop_front();
+        std::string out;
+        Status s = client.WaitGet(id, &out);
+        if (!s.ok() && !s.IsNotFound()) {
+          std::fprintf(stderr, "pipelined get failed: %s\n",
+                       s.ToString().c_str());
+          return false;
+        }
+        histograms[c].Add(NowMicros() - submitted);
+        return true;
+      };
+      for (uint64_t i = 0; i < ops_per_conn; i++) {
+        if (window.size() >= static_cast<size_t>(depth) && !claim_front()) {
+          return;
+        }
+        const std::string key = Key(rnd.Uniform(key_space));
+        const double submitted = NowMicros();
+        uint64_t id = client.SubmitGet(key);
+        if (id == 0) {
+          std::fprintf(stderr, "pipelined submit failed\n");
+          return;
+        }
+        window.emplace_back(id, submitted);
+      }
+      while (!window.empty()) {
+        if (!claim_front()) return;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_us = NowMicros() - start;
+
+  CellResult result;
+  for (const Histogram& h : histograms) result.latency_us.Merge(h);
+  result.ops = result.latency_us.Count();
+  result.ops_per_sec = result.ops / (elapsed_us / 1e6);
+  return result;
+}
+
+// Each op is one MGET of `batch` random keys; latency is per batch but
+// ops/ops_per_sec count keys, so cells compare directly against GET.
+CellResult RunMgetCell(int port, int connections, uint64_t keys_per_conn,
+                       uint64_t key_space, int batch) {
+  std::vector<Histogram> histograms(connections);
+  std::vector<uint64_t> key_counts(connections, 0);  // joined before read
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const double start = NowMicros();
+  for (int c = 0; c < connections; c++) {
+    threads.emplace_back([&, c] {
+      ClientOptions options;
+      options.port = port;
+      Client client(options);
+      Random64 rnd(3000 + c);
+      std::vector<std::string> keys(batch);
+      uint64_t done = 0;
+      while (done < keys_per_conn) {
+        for (auto& key : keys) key = Key(rnd.Uniform(key_space));
+        const double op_start = NowMicros();
+        std::vector<std::string> values;
+        std::vector<Status> statuses;
+        Status s = client.MultiGet(keys, &values, &statuses);
+        if (!s.ok()) {
+          std::fprintf(stderr, "mget failed: %s\n", s.ToString().c_str());
+          return;
+        }
+        histograms[c].Add(NowMicros() - op_start);
+        done += keys.size();
+      }
+      key_counts[c] = done;
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_us = NowMicros() - start;
+
+  CellResult result;
+  for (const Histogram& h : histograms) result.latency_us.Merge(h);
+  for (uint64_t n : key_counts) result.ops += n;
+  result.ops_per_sec = result.ops / (elapsed_us / 1e6);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,8 +243,25 @@ int main(int argc, char** argv) {
     db->WaitForQuiescence();
   }
 
-  std::printf("%-5s %12s %12s %10s %10s\n", "op", "connections", "ops/sec",
-              "p50(us)", "p99(us)");
+  const int cpus = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("%-14s %12s %6s %12s %9s %9s %9s\n", "op", "connections",
+              "d/b", "ops/sec", "p50(us)", "p99(us)", "p999(us)");
+  auto print_cell = [&](const char* bench, const char* op, int connections,
+                        const char* extra_key, int extra_value,
+                        const CellResult& r) {
+    std::printf("%-14s %12d %6d %12.0f %9.1f %9.1f %9.1f\n", op, connections,
+                extra_value, r.ops_per_sec, r.latency_us.Percentile(50),
+                r.latency_us.Percentile(99), r.latency_us.Percentile(99.9));
+    std::printf(
+        "{\"bench\":\"%s\",\"op\":\"%s\",\"connections\":%d,"
+        "\"%s\":%d,\"ops\":%llu,\"ops_per_sec\":%.1f,\"p50_us\":%.1f,"
+        "\"p99_us\":%.1f,\"p999_us\":%.1f,\"cpus\":%d}\n",
+        bench, op, connections, extra_key, extra_value,
+        static_cast<unsigned long long>(r.ops), r.ops_per_sec,
+        r.latency_us.Percentile(50), r.latency_us.Percentile(99),
+        r.latency_us.Percentile(99.9), cpus);
+  };
+
   for (const char* op : {"put", "get"}) {
     const bool do_put = std::string(op) == "put";
     for (int connections : connection_counts) {
@@ -146,19 +269,44 @@ int main(int argc, char** argv) {
           std::max<uint64_t>(1, ops_per_cell / connections);
       CellResult r =
           RunCell(server.port(), connections, per_conn, key_space, do_put);
-      std::printf("%-5s %12d %12.0f %10.1f %10.1f\n", op, connections,
-                  r.ops_per_sec, r.latency_us.Percentile(50),
-                  r.latency_us.Percentile(99));
-      std::printf(
-          "{\"bench\":\"server_throughput\",\"op\":\"%s\","
-          "\"connections\":%d,\"ops\":%llu,\"ops_per_sec\":%.1f,"
-          "\"p50_us\":%.1f,\"p99_us\":%.1f}\n",
-          op, connections, static_cast<unsigned long long>(r.ops),
-          r.ops_per_sec, r.latency_us.Percentile(50),
-          r.latency_us.Percentile(99));
+      print_cell("server_throughput", op, connections, "depth", 1, r);
       if (do_put) db->WaitForQuiescence();
     }
   }
+
+  // The event-driven axes: on few cores raw ops/s moves little, but depth
+  // amortizes the per-request round trip (this is where the reactor's
+  // writev batching shows up in p99/p999 and ops/s).
+  constexpr int kAsyncConnections = 16;
+  for (int depth : {1, 8, 64}) {
+    const uint64_t per_conn =
+        std::max<uint64_t>(1, ops_per_cell / kAsyncConnections);
+    CellResult r = RunPipelinedGetCell(server.port(), kAsyncConnections,
+                                       per_conn, key_space, depth);
+    print_cell("server_async", "pipelined_get", kAsyncConnections, "depth",
+               depth, r);
+  }
+  for (int batch : {1, 8, 64}) {
+    const uint64_t per_conn =
+        std::max<uint64_t>(1, ops_per_cell / kAsyncConnections);
+    CellResult r = RunMgetCell(server.port(), kAsyncConnections, per_conn,
+                               key_space, batch);
+    print_cell("server_async", "mget", kAsyncConnections, "batch", batch, r);
+  }
+
+  ServerStats stats = server.stats();
+  std::printf(
+      "{\"bench\":\"server_async\",\"op\":\"reactor_stats\",\"shards\":%d,"
+      "\"writev_calls\":%llu,\"responses_written\":%llu,"
+      "\"responses_per_writev\":%.2f,\"output_buffer_hwm\":%llu,"
+      "\"backpressure_stalls\":%llu,\"cpus\":%d}\n",
+      server.num_shards(), static_cast<unsigned long long>(stats.writev_calls),
+      static_cast<unsigned long long>(stats.responses_written),
+      stats.writev_calls > 0
+          ? static_cast<double>(stats.responses_written) / stats.writev_calls
+          : 0.0,
+      static_cast<unsigned long long>(stats.output_buffer_hwm),
+      static_cast<unsigned long long>(stats.backpressure_stalls), cpus);
 
   server.Stop();
   return 0;

@@ -54,6 +54,15 @@ struct DbStats {
   // Total time background I/O spent blocked in the rate limiter
   // (cumulative; 0 when compaction_rate_limit is off).
   uint64_t rate_limiter_wait_micros = 0;
+  // Serving-layer reactor counters (wire tags 23-28).  Filled only by the
+  // server's INFO path so remote stats consumers see the reactor alongside
+  // the engine; always zero in an embedded DB::GetStats().
+  uint64_t server_loop_iterations = 0;
+  uint64_t server_writev_calls = 0;
+  uint64_t server_responses_written = 0;
+  uint64_t server_output_buffer_hwm = 0;
+  uint64_t server_backpressure_stalls = 0;
+  uint64_t server_accept_errors = 0;
 };
 
 class DB {

@@ -124,6 +124,9 @@ void Client::CloseLocked() {
     fd_ = -1;
   }
   recv_buffer_.clear();
+  // Pipelined requests still in flight died with the connection; already
+  // received responses in ready_ stay claimable.
+  inflight_.clear();
 }
 
 bool Client::connected() const {
@@ -161,53 +164,14 @@ Status Client::ReadFrame(std::string* body) {
 
 Status Client::CallOnce(wire::Opcode opcode, const Slice& payload,
                         std::string* response_payload) {
-  Status s = ConnectLocked();
-  if (!s.ok()) return s;
-
-  const uint64_t id = next_request_id_++;
-  std::string frame;
-  wire::BuildFrame(id, opcode, payload, &frame);
-  if (!SendAll(fd_, frame.data(), frame.size())) {
-    CloseLocked();
-    return Status::IOError("send failed", std::strerror(errno));
+  // Submit + wait, so a blocking call composes with responses still in
+  // flight from the pipelined API (they get buffered, not mismatched).
+  const uint64_t id = SubmitLocked(opcode, payload);
+  if (id == 0) {
+    return Status::IOError("send failed",
+                           options_.host + ":" + std::to_string(options_.port));
   }
-
-  // This client never pipelines, so responses arrive in order; still,
-  // verify the correlation id (a kError frame carries id 0).
-  std::string body;
-  s = ReadFrame(&body);
-  if (!s.ok()) {
-    CloseLocked();
-    return s;
-  }
-  uint64_t resp_id;
-  wire::Opcode resp_op;
-  Slice resp_payload;
-  if (!wire::ParseBody(body, &resp_id, &resp_op, &resp_payload)) {
-    CloseLocked();
-    return Status::Corruption("malformed response body");
-  }
-  if (resp_op == wire::Opcode::kError) {
-    Status err;
-    Slice p = resp_payload;
-    if (!wire::DecodeStatus(&p, &err)) {
-      err = Status::Corruption("server rejected request");
-    }
-    CloseLocked();  // the server drops the stream after a framing error
-    return err;
-  }
-  if (resp_id != id || resp_op != opcode) {
-    CloseLocked();
-    return Status::Corruption("response correlation mismatch");
-  }
-  Status op_status;
-  Slice rest = resp_payload;
-  if (!wire::DecodeStatus(&rest, &op_status)) {
-    CloseLocked();
-    return Status::Corruption("malformed response status");
-  }
-  response_payload->assign(rest.data(), rest.size());
-  return op_status;
+  return WaitLocked(id, response_payload);
 }
 
 Status Client::Call(wire::Opcode opcode, const Slice& payload,
@@ -244,6 +208,30 @@ Status Client::Get(const Slice& key, std::string* value) {
     return Status::Corruption("malformed GET response");
   }
   value->assign(v.data(), v.size());
+  return Status::OK();
+}
+
+Status Client::MultiGet(const std::vector<std::string>& keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses) {
+  std::string payload, resp;
+  wire::EncodeMultiGet(keys, &payload);
+  Status s =
+      Call(wire::Opcode::kMultiGet, payload, /*idempotent=*/true, &resp);
+  if (!s.ok()) return s;
+  std::vector<wire::MultiGetEntry> entries;
+  if (!wire::DecodeMultiGetResponse(resp, &entries) ||
+      entries.size() != keys.size()) {
+    return Status::Corruption("malformed MGET response");
+  }
+  values->clear();
+  values->reserve(entries.size());
+  statuses->clear();
+  statuses->reserve(entries.size());
+  for (wire::MultiGetEntry& e : entries) {
+    statuses->push_back(wire::MakeStatus(e.code, Slice()));
+    values->push_back(std::move(e.value));
+  }
   return Status::OK();
 }
 
@@ -302,6 +290,145 @@ Status Client::GetProperty(const Slice& property, std::string* value) {
     return Status::Corruption("malformed INFO response");
   }
   value->assign(v.data(), v.size());
+  return Status::OK();
+}
+
+// --- pipelined API --------------------------------------------------------
+
+uint64_t Client::SubmitLocked(wire::Opcode opcode, const Slice& payload) {
+  if (!ConnectLocked().ok()) return 0;
+  const uint64_t id = next_request_id_++;
+  std::string frame;
+  wire::BuildFrame(id, opcode, payload, &frame);
+  if (!SendAll(fd_, frame.data(), frame.size())) {
+    CloseLocked();
+    return 0;
+  }
+  inflight_.emplace(id, opcode);
+  return id;
+}
+
+uint64_t Client::SubmitPing() {
+  std::lock_guard<std::mutex> l(mu_);
+  return SubmitLocked(wire::Opcode::kPing, Slice());
+}
+
+uint64_t Client::SubmitPut(const Slice& key, const Slice& value) {
+  std::string payload;
+  wire::EncodePut(key, value, &payload);
+  std::lock_guard<std::mutex> l(mu_);
+  return SubmitLocked(wire::Opcode::kPut, payload);
+}
+
+uint64_t Client::SubmitGet(const Slice& key) {
+  std::string payload;
+  wire::EncodeKey(key, &payload);
+  std::lock_guard<std::mutex> l(mu_);
+  return SubmitLocked(wire::Opcode::kGet, payload);
+}
+
+uint64_t Client::SubmitMultiGet(const std::vector<std::string>& keys) {
+  std::string payload;
+  wire::EncodeMultiGet(keys, &payload);
+  std::lock_guard<std::mutex> l(mu_);
+  return SubmitLocked(wire::Opcode::kMultiGet, payload);
+}
+
+Status Client::WaitLocked(uint64_t id, std::string* response_payload) {
+  auto DecodeReady = [&](const std::string& body_payload) {
+    Slice rest(body_payload);
+    Status op_status;
+    if (!wire::DecodeStatus(&rest, &op_status)) {
+      return Status::Corruption("malformed response status");
+    }
+    if (response_payload != nullptr) {
+      response_payload->assign(rest.data(), rest.size());
+    }
+    return op_status;
+  };
+
+  while (true) {
+    auto ready = ready_.find(id);
+    if (ready != ready_.end()) {
+      std::string body_payload = std::move(ready->second);
+      ready_.erase(ready);
+      return DecodeReady(body_payload);
+    }
+    auto inflight = inflight_.find(id);
+    if (inflight == inflight_.end()) {
+      return Status::IOError("request is not in flight",
+                             "id " + std::to_string(id));
+    }
+
+    std::string body;
+    Status s = ReadFrame(&body);
+    if (!s.ok()) {
+      CloseLocked();
+      return s;
+    }
+    uint64_t resp_id;
+    wire::Opcode resp_op;
+    Slice resp_payload;
+    if (!wire::ParseBody(body, &resp_id, &resp_op, &resp_payload)) {
+      CloseLocked();
+      return Status::Corruption("malformed response body");
+    }
+    if (resp_op == wire::Opcode::kError) {
+      // id 0 = the stream is unrecoverable (framing error); a nonzero id
+      // answers just that request and the connection survives.
+      Status err;
+      Slice p = resp_payload;
+      if (!wire::DecodeStatus(&p, &err)) {
+        err = Status::Corruption("server rejected request");
+      }
+      if (resp_id == 0) {
+        CloseLocked();
+        return err;
+      }
+      inflight_.erase(resp_id);
+      if (resp_id == id) return err;
+      continue;
+    }
+    auto expected = inflight_.find(resp_id);
+    if (expected == inflight_.end() || expected->second != resp_op) {
+      CloseLocked();
+      return Status::Corruption("response correlation mismatch");
+    }
+    inflight_.erase(expected);
+    if (resp_id == id) {
+      return DecodeReady(std::string(resp_payload.data(),
+                                     resp_payload.size()));
+    }
+    ready_.emplace(resp_id,
+                   std::string(resp_payload.data(), resp_payload.size()));
+  }
+}
+
+Status Client::Wait(uint64_t id, std::string* response_payload) {
+  std::lock_guard<std::mutex> l(mu_);
+  return WaitLocked(id, response_payload);
+}
+
+Status Client::WaitGet(uint64_t id, std::string* value) {
+  std::string resp;
+  Status s = Wait(id, &resp);
+  if (!s.ok()) return s;
+  Slice p(resp), v;
+  if (!GetLengthPrefixedSlice(&p, &v)) {
+    return Status::Corruption("malformed GET response");
+  }
+  value->assign(v.data(), v.size());
+  return Status::OK();
+}
+
+Status Client::WaitMultiGet(uint64_t id,
+                            std::vector<wire::MultiGetEntry>* entries) {
+  std::string resp;
+  Status s = Wait(id, &resp);
+  if (!s.ok()) return s;
+  if (!wire::DecodeMultiGetResponse(resp, entries)) {
+    return Status::Corruption("malformed MGET response");
+  }
   return Status::OK();
 }
 

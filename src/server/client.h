@@ -2,9 +2,15 @@
 // Put/Get/Delete/Write/Scan plus the server-only Info and Ping calls.
 //
 // Threading: a Client owns one TCP connection and serializes its calls
-// internally, so it is safe to share across threads but calls do not
-// pipeline — for concurrency open one Client per thread (the server
+// internally, so it is safe to share across threads but blocking calls do
+// not pipeline — for concurrency open one Client per thread (the server
 // multiplexes connections onto its worker pool).
+//
+// Pipelining: the Submit*/Wait* API sends requests without waiting for
+// their responses, keeping many requests in flight on the one connection.
+// The server may complete them out of order; Wait() correlates responses
+// by request id and buffers the ones that arrive early.  Submitted
+// requests are never auto-retried.
 //
 // Failure handling: Connect() retries with backoff per ClientOptions.  A
 // call that hits a broken connection marks the client disconnected and —
@@ -13,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -52,6 +59,12 @@ class Client {
   Status Ping();
   Status Put(const Slice& key, const Slice& value);
   Status Get(const Slice& key, std::string* value);
+  // Batched point reads in one round trip.  On OK, *values and *statuses
+  // have one entry per key: statuses[i] is OK (values[i] holds the value)
+  // or NotFound (values[i] empty).  All keys are read at one snapshot.
+  Status MultiGet(const std::vector<std::string>& keys,
+                  std::vector<std::string>* values,
+                  std::vector<Status>* statuses);
   Status Delete(const Slice& key);
   // Atomic batch; the batch's contents travel in the WAL wire format.
   Status Write(const WriteBatch& batch);
@@ -66,6 +79,24 @@ class Client {
   // Remote GetProperty; also accepts the server-side "server.stats" key.
   Status GetProperty(const Slice& property, std::string* value);
 
+  // --- pipelined API ------------------------------------------------------
+  // Submit* sends the request and returns its correlation id immediately
+  // (0 if the send failed — the connection is closed and every request
+  // still in flight is lost).  Wait* blocks until that id's response
+  // arrives, buffering any other responses that arrive first; ids may be
+  // waited on in any order, each exactly once.
+  uint64_t SubmitPing();
+  uint64_t SubmitPut(const Slice& key, const Slice& value);
+  uint64_t SubmitGet(const Slice& key);
+  uint64_t SubmitMultiGet(const std::vector<std::string>& keys);
+
+  // Raw wait: *response_payload (optional) receives the payload after the
+  // decoded status.
+  Status Wait(uint64_t id, std::string* response_payload = nullptr);
+  // Typed waits for the common cases.
+  Status WaitGet(uint64_t id, std::string* value);
+  Status WaitMultiGet(uint64_t id, std::vector<wire::MultiGetEntry>* entries);
+
  private:
   // Sends one request and blocks for its response; handles lazy connect
   // and the single idempotent retry.  *response_payload excludes the
@@ -78,11 +109,21 @@ class Client {
   void CloseLocked();
   Status ReadFrame(std::string* body);
 
+  uint64_t SubmitLocked(wire::Opcode opcode, const Slice& payload);
+  // Decodes a buffered/arriving response body for `id`; fills
+  // *response_payload with the bytes after the status.
+  Status WaitLocked(uint64_t id, std::string* response_payload);
+
   const ClientOptions options_;
   mutable std::mutex mu_;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   std::string recv_buffer_;
+  // Pipelined requests awaiting a response: id -> expected opcode.
+  std::map<uint64_t, wire::Opcode> inflight_;
+  // Responses received while waiting for a different id: id -> body
+  // payload (status + opcode-specific bytes).  Survives a disconnect.
+  std::map<uint64_t, std::string> ready_;
 };
 
 }  // namespace iamdb

@@ -4,13 +4,20 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <condition_variable>
+#include <chrono>
 #include <cstring>
+#include <deque>
+#include <unordered_map>
 
+#include "core/snapshot.h"
 #include "memtable/write_batch.h"
 #include "util/coding.h"
 
@@ -18,20 +25,10 @@ namespace iamdb {
 
 namespace {
 
-// send() the whole buffer; MSG_NOSIGNAL so a dead peer yields EPIPE
-// instead of killing the process.
-bool SendAll(int fd, const char* data, size_t n) {
-  while (n > 0) {
-    ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
-    if (sent < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += sent;
-    n -= static_cast<size_t>(sent);
-  }
-  return true;
-}
+constexpr int kMaxEpollEvents = 64;
+// iovecs per vectored send; far below IOV_MAX, and 64 coalesced responses
+// per syscall already amortizes the syscall to noise.
+constexpr int kMaxIov = 64;
 
 // Counts records while Iterate() checks structural integrity.
 class CountingHandler : public WriteBatch::Handler {
@@ -41,31 +38,114 @@ class CountingHandler : public WriteBatch::Handler {
   int count = 0;
 };
 
+void RelaxedAdd(std::atomic<uint64_t>& counter, uint64_t n) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
+
+void RelaxedMax(std::atomic<uint64_t>& counter, uint64_t v) {
+  uint64_t cur = counter.load(std::memory_order_relaxed);
+  while (v > cur && !counter.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed,
+                        std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
-// One accepted socket.  The reader thread owns `fd`'s read side; response
-// writers serialize on write_mu.  `outstanding` counts requests dispatched
-// to the pool whose responses have not been written yet — the reader stops
-// decoding at max_pipeline and the drain path waits for it to hit zero.
+// Request/response counters as relaxed atomics: requests complete on every
+// pool worker and flush on every shard, so a shared mutex here would be
+// per-request contention for numbers that only need to be individually
+// monotonic.
+struct Server::AtomicStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_active{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> infos{0};
+  std::atomic<uint64_t> pings{0};
+  std::atomic<uint64_t> mgets{0};
+  std::atomic<uint64_t> mget_keys{0};
+  std::atomic<uint64_t> malformed_frames{0};
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> accept_errors{0};
+  std::atomic<uint64_t> loop_iterations{0};
+  std::atomic<uint64_t> writev_calls{0};
+  std::atomic<uint64_t> responses_written{0};
+  std::atomic<uint64_t> output_buffer_hwm{0};
+  std::atomic<uint64_t> backpressure_stalls{0};
+  std::atomic<uint64_t> overflow_disconnects{0};
+};
+
+// One accepted socket, owned by exactly one shard.  Everything here is
+// touched only from the owning shard's thread; pool workers hold a
+// shared_ptr for lifetime but post responses through Shard::completions,
+// never into the connection directly.
 struct Server::Connection {
   int fd = -1;
-  std::thread reader;
-  std::mutex write_mu;
-  std::mutex pipeline_mu;
-  std::condition_variable pipeline_cv;
-  int outstanding = 0;         // pipeline_mu
-  bool write_failed = false;   // write_mu
-  std::atomic<bool> done{false};
+  Shard* shard = nullptr;
+
+  std::string in_buf;                 // received bytes; incomplete frame tail
+  std::deque<std::string> out_frames; // encoded responses awaiting the socket
+  size_t out_front_off = 0;           // bytes of out_frames.front() already sent
+  size_t out_bytes = 0;               // total buffered response bytes
+  int outstanding = 0;                // dispatched, response not yet queued
+
+  bool read_closed = false;  // EOF / read error / fatal framing error
+  bool paused = false;       // decoding paused (pipeline cap or backpressure)
+  bool want_write = false;   // EPOLLOUT armed (socket was full)
+  bool dead = false;         // closed; late completions are dropped
+  bool touched = false;      // dedup flag for the per-iteration flush list
+  uint32_t armed_events = 0; // events currently registered with epoll
+};
+
+// One epoll reactor.  The loop thread owns `conns` and all connection
+// state; `mu` guards only the two inbound queues (accepted sockets from
+// the acceptor, finished responses from pool workers), which the loop
+// drains after every epoll_wait.  `wake_fd` is an eventfd registered in
+// the epoll set (data.ptr == nullptr) so producers can interrupt a
+// blocking wait; `wake_pending` coalesces redundant wakeups.
+struct Server::Shard {
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+
+  // Loop-thread-only.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  size_t outstanding_total = 0;  // across all conns, incl. already-closed
+  // Closed connections stay alive here until the next loop iteration so
+  // raw pointers inside an already-collected epoll event batch stay valid.
+  std::vector<std::shared_ptr<Connection>> graveyard;
+
+  std::mutex mu;
+  bool wake_pending = false;
+  std::vector<int> pending_accepts;
+  std::vector<std::pair<std::shared_ptr<Connection>, std::string>>
+      completions;
+
+  void Wake() {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
 };
 
 Server::Server(DB* db, ServerOptions options)
-    : db_(db), options_(std::move(options)) {}
+    : db_(db),
+      options_(std::move(options)),
+      stats_(std::make_unique<AtomicStats>()) {}
 
 Server::~Server() { Stop(); }
 
 Status Server::Start() {
-  if (running_.load() || stopping_.load()) {
-    return Status::NotSupported("server is not restartable");
+  {
+    std::lock_guard<std::mutex> l(lifecycle_mu_);
+    if (state_ != State::kIdle) {
+      return Status::NotSupported("server is not restartable");
+    }
   }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -104,277 +184,626 @@ Status Server::Start() {
     port_ = ntohs(bound.sin_port);
   }
 
+  int num_shards = options_.num_shards;
+  if (num_shards <= 0) {
+    num_shards = static_cast<int>(std::thread::hardware_concurrency());
+    num_shards = std::clamp(num_shards, 1, 4);
+  }
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; i++) {
+    auto shard = std::make_unique<Shard>();
+    shard->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    shard->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (shard->epoll_fd < 0 || shard->wake_fd < 0) {
+      Status s = Status::IOError("epoll/eventfd", std::strerror(errno));
+      if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+      if (shard->wake_fd >= 0) ::close(shard->wake_fd);
+      for (auto& prev : shards_) {
+        ::close(prev->epoll_fd);
+        ::close(prev->wake_fd);
+      }
+      shards_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return s;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // nullptr marks the wakeup eventfd
+    ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->wake_fd, &ev);
+    shards_.push_back(std::move(shard));
+  }
+
   pool_ = std::make_unique<ThreadPool>(std::max(1, options_.num_workers));
   running_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> l(lifecycle_mu_);
+    state_ = State::kRunning;
+  }
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->thread = std::thread([this, raw] { ShardLoop(raw); });
+  }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void Server::Stop() {
-  bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) {
-    // Someone else is (or finished) stopping; wait for the acceptor to be
-    // joined by them — nothing more to do for idempotent callers.
-    return;
+  {
+    std::unique_lock<std::mutex> l(lifecycle_mu_);
+    if (state_ == State::kIdle || state_ == State::kStopped) return;
+    if (state_ == State::kStopping) {
+      // A concurrent caller owns the teardown; block until it completes
+      // so every caller returning from Stop() sees a fully-stopped server.
+      lifecycle_cv_.wait(l, [this] { return state_ == State::kStopped; });
+      return;
+    }
+    state_ = State::kStopping;
   }
-  if (!running_.load(std::memory_order_acquire)) return;
 
+  stopping_.store(true, std::memory_order_release);
   if (acceptor_.joinable()) acceptor_.join();  // poll loop sees stopping_
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
 
-  // Half-close every connection: readers see EOF, stop decoding new
-  // requests, and drain their in-flight responses.  The fd is closed only
-  // after the reader is joined (never by the reader itself) so a shutdown()
-  // here cannot race a close() and hit a recycled descriptor.
-  {
-    std::lock_guard<std::mutex> l(conn_mu_);
-    for (auto& conn : connections_) ::shutdown(conn->fd, SHUT_RD);
-    for (auto& conn : connections_) {
-      if (conn->reader.joinable()) conn->reader.join();
-      ::close(conn->fd);
-    }
-    connections_.clear();
+  // Wake every shard so a loop blocked in epoll_wait notices stopping_,
+  // half-closes its connections and drains.  Each loop exits once all its
+  // connections have finished their in-flight requests and flushed.
+  for (auto& shard : shards_) shard->Wake();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
   }
 
   pool_->WaitIdle();
   pool_.reset();
+  for (auto& shard : shards_) {
+    ::close(shard->epoll_fd);
+    ::close(shard->wake_fd);
+  }
+  shards_.clear();
   running_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> l(lifecycle_mu_);
+    state_ = State::kStopped;
+  }
+  lifecycle_cv_.notify_all();
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> l(stats_mu_);
-  return stats_;
+  const AtomicStats& a = *stats_;
+  ServerStats s;
+  s.connections_accepted = a.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_active = a.connections_active.load(std::memory_order_relaxed);
+  s.requests = a.requests.load(std::memory_order_relaxed);
+  s.puts = a.puts.load(std::memory_order_relaxed);
+  s.gets = a.gets.load(std::memory_order_relaxed);
+  s.deletes = a.deletes.load(std::memory_order_relaxed);
+  s.writes = a.writes.load(std::memory_order_relaxed);
+  s.scans = a.scans.load(std::memory_order_relaxed);
+  s.infos = a.infos.load(std::memory_order_relaxed);
+  s.pings = a.pings.load(std::memory_order_relaxed);
+  s.mgets = a.mgets.load(std::memory_order_relaxed);
+  s.mget_keys = a.mget_keys.load(std::memory_order_relaxed);
+  s.malformed_frames = a.malformed_frames.load(std::memory_order_relaxed);
+  s.bytes_received = a.bytes_received.load(std::memory_order_relaxed);
+  s.bytes_sent = a.bytes_sent.load(std::memory_order_relaxed);
+  s.accept_errors = a.accept_errors.load(std::memory_order_relaxed);
+  s.loop_iterations = a.loop_iterations.load(std::memory_order_relaxed);
+  s.writev_calls = a.writev_calls.load(std::memory_order_relaxed);
+  s.responses_written = a.responses_written.load(std::memory_order_relaxed);
+  s.output_buffer_hwm = a.output_buffer_hwm.load(std::memory_order_relaxed);
+  s.backpressure_stalls =
+      a.backpressure_stalls.load(std::memory_order_relaxed);
+  s.overflow_disconnects =
+      a.overflow_disconnects.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::string Server::StatsString() const {
   ServerStats s = stats();
-  char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "connections: accepted=%llu active=%llu\n"
-                "requests=%llu put=%llu get=%llu delete=%llu write=%llu "
-                "scan=%llu info=%llu ping=%llu\n"
-                "malformed_frames=%llu bytes_received=%llu bytes_sent=%llu\n",
-                (unsigned long long)s.connections_accepted,
-                (unsigned long long)s.connections_active,
-                (unsigned long long)s.requests, (unsigned long long)s.puts,
-                (unsigned long long)s.gets, (unsigned long long)s.deletes,
-                (unsigned long long)s.writes, (unsigned long long)s.scans,
-                (unsigned long long)s.infos, (unsigned long long)s.pings,
-                (unsigned long long)s.malformed_frames,
-                (unsigned long long)s.bytes_received,
-                (unsigned long long)s.bytes_sent);
+  char buf[1024];
+  const double per_writev =
+      s.writev_calls > 0
+          ? static_cast<double>(s.responses_written) / s.writev_calls
+          : 0.0;
+  std::snprintf(
+      buf, sizeof(buf),
+      "connections: accepted=%llu active=%llu accept_errors=%llu\n"
+      "requests=%llu put=%llu get=%llu delete=%llu write=%llu "
+      "scan=%llu info=%llu ping=%llu mget=%llu mget_keys=%llu\n"
+      "malformed_frames=%llu bytes_received=%llu bytes_sent=%llu\n"
+      "reactor: shards=%d loop_iterations=%llu writev_calls=%llu "
+      "responses_written=%llu responses_per_writev=%.2f\n"
+      "reactor: output_buffer_hwm=%llu backpressure_stalls=%llu "
+      "overflow_disconnects=%llu\n",
+      (unsigned long long)s.connections_accepted,
+      (unsigned long long)s.connections_active,
+      (unsigned long long)s.accept_errors, (unsigned long long)s.requests,
+      (unsigned long long)s.puts, (unsigned long long)s.gets,
+      (unsigned long long)s.deletes, (unsigned long long)s.writes,
+      (unsigned long long)s.scans, (unsigned long long)s.infos,
+      (unsigned long long)s.pings, (unsigned long long)s.mgets,
+      (unsigned long long)s.mget_keys,
+      (unsigned long long)s.malformed_frames,
+      (unsigned long long)s.bytes_received,
+      (unsigned long long)s.bytes_sent, num_shards(),
+      (unsigned long long)s.loop_iterations,
+      (unsigned long long)s.writev_calls,
+      (unsigned long long)s.responses_written, per_writev,
+      (unsigned long long)s.output_buffer_hwm,
+      (unsigned long long)s.backpressure_stalls,
+      (unsigned long long)s.overflow_disconnects);
   return buf;
 }
 
 void Server::AcceptLoop() {
+  size_t next_shard = 0;
+  int backoff_ms = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (n < 0 && errno != EINTR) break;
     if (n <= 0 || !(pfd.revents & POLLIN)) continue;
 
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    Connection* raw = conn.get();
-    {
-      std::lock_guard<std::mutex> l(conn_mu_);
-      ReapFinishedConnections();
-      connections_.push_back(std::move(conn));
-    }
-    {
-      std::lock_guard<std::mutex> l(stats_mu_);
-      stats_.connections_accepted++;
-      stats_.connections_active++;
-    }
-    raw->reader = std::thread([this, raw] { ReadLoop(raw); });
-  }
-}
-
-void Server::ReapFinishedConnections() {
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->reader.joinable()) (*it)->reader.join();
-      ::close((*it)->fd);
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void Server::ReadLoop(Connection* conn) {
-  std::string buffer;
-  char chunk[64 << 10];
-  bool fatal = false;
-
-  while (!fatal) {
-    // Drain complete frames already buffered.
-    size_t consumed_total = 0;
-    while (true) {
-      Slice body;
-      size_t consumed = 0;
-      wire::FrameResult r =
-          wire::DecodeFrame(buffer.data() + consumed_total,
-                            buffer.size() - consumed_total, &body, &consumed);
-      if (r == wire::FrameResult::kNeedMore) break;
-      if (r != wire::FrameResult::kOk) {
-        // Bad CRC or insane length: the stream cannot be resynchronized.
-        // Report once (request_id 0: the header is untrusted) and drop.
-        {
-          std::lock_guard<std::mutex> l(stats_mu_);
-          stats_.malformed_frames++;
-        }
-        std::string msg;
-        wire::EncodeStatus(
-            Status::Corruption(r == wire::FrameResult::kBadCrc
-                                   ? "frame checksum mismatch"
-                                   : "frame length out of range"),
-            &msg);
-        SendResponse(conn, 0, wire::Opcode::kError, msg);
-        fatal = true;
-        break;
-      }
-
-      uint64_t request_id;
-      wire::Opcode opcode;
-      Slice payload;
-      if (!wire::ParseBody(body, &request_id, &opcode, &payload)) {
-        {
-          std::lock_guard<std::mutex> l(stats_mu_);
-          stats_.malformed_frames++;
-        }
-        // The frame itself checksummed fine, so framing is still intact:
-        // answer with an error and keep the connection.
-        std::string msg;
-        wire::EncodeStatus(Status::InvalidArgument("unknown opcode"), &msg);
-        consumed_total += consumed;
-        SendResponse(conn, request_id, wire::Opcode::kError, msg);
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
         continue;
       }
-      consumed_total += consumed;
-
-      // Backpressure: wait for a pipeline slot.
-      {
-        std::unique_lock<std::mutex> l(conn->pipeline_mu);
-        conn->pipeline_cv.wait(l, [&] {
-          return conn->outstanding < options_.max_pipeline;
-        });
-        conn->outstanding++;
+      // EMFILE/ENFILE/ENOBUFS/...: the fd table (or kernel memory) is
+      // exhausted and the pending connection stays in the backlog, so a
+      // plain retry spins poll+accept at full speed.  Count it and back
+      // off exponentially; a freed descriptor ends the wait early only in
+      // the sense that the next round's accept succeeds and resets it.
+      RelaxedAdd(stats_->accept_errors, 1);
+      backoff_ms = backoff_ms == 0 ? 10 : std::min(backoff_ms * 2, 1000);
+      for (int waited = 0;
+           waited < backoff_ms && !stopping_.load(std::memory_order_acquire);
+           waited += 10) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
       }
-      std::string owned_payload = payload.ToString();
-      if (!pool_->Schedule([this, conn, request_id, opcode,
-                            owned_payload = std::move(owned_payload)] {
-            HandleRequest(conn, request_id, opcode, owned_payload);
-          })) {
-        // Pool is shutting down (server teardown racing a live reader):
-        // fail the request instead of dropping it silently.
-        HandleRequest(conn, request_id, opcode, owned_payload);
-      }
+      continue;
     }
-    if (consumed_total > 0) buffer.erase(0, consumed_total);
-    if (fatal) break;
+    backoff_ms = 0;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+    }
+    RelaxedAdd(stats_->connections_accepted, 1);
+    RelaxedAdd(stats_->connections_active, 1);
 
-    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF (client closed or Stop() half-closed) / error
+    Shard* shard = shards_[next_shard++ % shards_.size()].get();
+    bool wake = false;
     {
-      std::lock_guard<std::mutex> l(stats_mu_);
-      stats_.bytes_received += static_cast<uint64_t>(n);
+      std::lock_guard<std::mutex> l(shard->mu);
+      shard->pending_accepts.push_back(fd);
+      if (!shard->wake_pending) {
+        shard->wake_pending = true;
+        wake = true;
+      }
     }
-    buffer.append(chunk, static_cast<size_t>(n));
-  }
-
-  // Drain: let every dispatched request finish and write its response
-  // before the socket goes away.  The fd itself is closed by whoever joins
-  // this thread (reaper or Stop()).
-  {
-    std::unique_lock<std::mutex> l(conn->pipeline_mu);
-    conn->pipeline_cv.wait(l, [&] { return conn->outstanding == 0; });
-  }
-  // Signal EOF to the peer now; shutdown (unlike close) cannot recycle the
-  // descriptor, so it cannot race Stop()'s own shutdown on this fd.
-  ::shutdown(conn->fd, SHUT_RDWR);
-  conn->done.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> l(stats_mu_);
-    stats_.connections_active--;
+    if (wake) shard->Wake();
   }
 }
 
-void Server::HandleRequest(Connection* conn, uint64_t request_id,
-                           wire::Opcode opcode, const std::string& payload) {
-  std::string out;
-  {
-    std::lock_guard<std::mutex> l(stats_mu_);
-    stats_.requests++;
-    switch (opcode) {
-      case wire::Opcode::kPut: stats_.puts++; break;
-      case wire::Opcode::kGet: stats_.gets++; break;
-      case wire::Opcode::kDelete: stats_.deletes++; break;
-      case wire::Opcode::kWrite: stats_.writes++; break;
-      case wire::Opcode::kScan: stats_.scans++; break;
-      case wire::Opcode::kInfo: stats_.infos++; break;
-      case wire::Opcode::kPing: stats_.pings++; break;
-      default: break;
+void Server::ShardLoop(Shard* shard) {
+  epoll_event events[kMaxEpollEvents];
+  std::vector<std::shared_ptr<Connection>> touched;
+  bool half_closed = false;
+
+  while (true) {
+    shard->graveyard.clear();
+    // Block indefinitely while serving (the eventfd interrupts); poll at
+    // 100ms while draining so shutdown cannot hang on a lost wakeup.
+    const int timeout =
+        stopping_.load(std::memory_order_acquire) ? 100 : -1;
+    int n = ::epoll_wait(shard->epoll_fd, events, kMaxEpollEvents, timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // EBADF etc.: unrecoverable, abandon the loop
+    }
+    RelaxedAdd(stats_->loop_iterations, 1);
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+
+    for (int i = 0; i < n; i++) {
+      if (events[i].data.ptr == nullptr) {
+        uint64_t junk;
+        while (::read(shard->wake_fd, &junk, sizeof(junk)) > 0) {
+        }
+        continue;
+      }
+      Connection* raw = static_cast<Connection*>(events[i].data.ptr);
+      // A connection closed earlier in this batch: the object is kept
+      // alive by the graveyard, but there is nothing left to do.
+      if (raw->dead) continue;
+      auto it = shard->conns.find(raw->fd);
+      if (it == shard->conns.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+
+      if (events[i].events & EPOLLOUT) {
+        FlushOutput(shard, conn.get());
+        if (!conn->dead) {
+          MaybeResume(shard, conn);
+          MaybeFinish(shard, conn.get());
+        }
+      }
+      if (!conn->dead &&
+          (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR))) {
+        HandleReadable(shard, conn);
+      }
+    }
+
+    // Drain the inbound queues: new sockets from the acceptor, finished
+    // responses from the pool.  All responses are appended to their
+    // connections' buffers first and each touched connection is flushed
+    // once afterwards — that is what coalesces a burst of pipelined
+    // completions into a single writev.
+    std::vector<int> accepts;
+    std::vector<std::pair<std::shared_ptr<Connection>, std::string>> done;
+    {
+      std::lock_guard<std::mutex> l(shard->mu);
+      accepts.swap(shard->pending_accepts);
+      done.swap(shard->completions);
+      shard->wake_pending = false;
+    }
+    for (int fd : accepts) {
+      if (stopping) {
+        ::close(fd);
+        RelaxedAdd(stats_->connections_active, static_cast<uint64_t>(-1));
+        continue;
+      }
+      AddConnection(shard, fd);
+    }
+    touched.clear();
+    for (auto& [conn, frame] : done) {
+      Connection* c = conn.get();
+      c->outstanding--;
+      shard->outstanding_total--;
+      if (c->dead) continue;
+      QueueResponse(shard, c, std::move(frame));
+      if (!c->dead && !c->touched) {
+        c->touched = true;
+        touched.push_back(conn);
+      }
+    }
+    for (auto& conn : touched) {
+      conn->touched = false;
+      if (conn->dead) continue;
+      FlushOutput(shard, conn.get());
+      if (conn->dead) continue;
+      MaybeResume(shard, conn);
+      MaybeFinish(shard, conn.get());
+    }
+
+    if (stopping) {
+      if (!half_closed) {
+        half_closed = true;
+        // Half-close: readers see EOF, stop producing requests, and the
+        // drain below waits for what was already dispatched.
+        for (auto& [fd, conn] : shard->conns) {
+          ::shutdown(fd, SHUT_RD);
+          (void)conn;
+        }
+      }
+      if (shard->conns.empty() && shard->outstanding_total == 0) {
+        std::lock_guard<std::mutex> l(shard->mu);
+        if (shard->completions.empty() && shard->pending_accepts.empty()) {
+          break;
+        }
+      }
     }
   }
+  shard->graveyard.clear();
+}
+
+void Server::AddConnection(Shard* shard, int fd) {
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  conn->shard = shard;
+  conn->armed_events = EPOLLIN;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = conn.get();
+  if (::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    RelaxedAdd(stats_->connections_active, static_cast<uint64_t>(-1));
+    return;
+  }
+  shard->conns.emplace(fd, std::move(conn));
+}
+
+void Server::HandleReadable(Shard* shard,
+                            const std::shared_ptr<Connection>& conn) {
+  Connection* c = conn.get();
+  char chunk[64 << 10];
+  while (!c->read_closed && !c->paused && !c->dead) {
+    ssize_t n = ::recv(c->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      c->read_closed = true;  // hard error: treat as EOF, drain and close
+      break;
+    }
+    if (n == 0) {
+      c->read_closed = true;  // peer closed (or Stop() half-closed)
+      break;
+    }
+    RelaxedAdd(stats_->bytes_received, static_cast<uint64_t>(n));
+    c->in_buf.append(chunk, static_cast<size_t>(n));
+    ProcessInput(shard, conn);
+  }
+  if (!c->dead) {
+    UpdateInterest(shard, c);
+    MaybeFinish(shard, c);
+  }
+}
+
+void Server::ProcessInput(Shard* shard,
+                          const std::shared_ptr<Connection>& conn) {
+  Connection* c = conn.get();
+  size_t consumed_total = 0;
+  while (!c->dead) {
+    // Backpressure: stop decoding while the pipeline is full or the peer
+    // is not draining its responses.  MaybeResume() restarts decoding of
+    // whatever stayed buffered once a slot frees / the output drains.
+    if (c->outstanding >= options_.max_pipeline ||
+        c->out_bytes > options_.output_buffer_soft_limit) {
+      if (!c->paused) {
+        c->paused = true;
+        if (c->out_bytes > options_.output_buffer_soft_limit) {
+          RelaxedAdd(stats_->backpressure_stalls, 1);
+        }
+      }
+      break;
+    }
+
+    Slice body;
+    size_t consumed = 0;
+    wire::FrameResult r =
+        wire::DecodeFrame(c->in_buf.data() + consumed_total,
+                          c->in_buf.size() - consumed_total, &body, &consumed);
+    if (r == wire::FrameResult::kNeedMore) break;
+    if (r != wire::FrameResult::kOk) {
+      // Bad CRC or insane length: the stream cannot be resynchronized.
+      // Report once (request_id 0: the header is untrusted), flush, close.
+      RelaxedAdd(stats_->malformed_frames, 1);
+      std::string msg;
+      wire::EncodeStatus(
+          Status::Corruption(r == wire::FrameResult::kBadCrc
+                                 ? "frame checksum mismatch"
+                                 : "frame length out of range"),
+          &msg);
+      std::string frame;
+      wire::BuildFrame(0, wire::Opcode::kError, msg, &frame);
+      c->in_buf.clear();
+      c->read_closed = true;
+      QueueResponse(shard, c, std::move(frame));
+      if (!c->dead) {
+        FlushOutput(shard, c);
+        if (!c->dead) MaybeFinish(shard, c);
+      }
+      return;
+    }
+
+    uint64_t request_id = 0;
+    wire::Opcode opcode;
+    Slice payload;
+    if (!wire::ParseBody(body, &request_id, &opcode, &payload)) {
+      RelaxedAdd(stats_->malformed_frames, 1);
+      // The frame checksummed fine, so framing is still intact: answer
+      // with an error and keep the connection.
+      std::string msg;
+      wire::EncodeStatus(Status::InvalidArgument("unknown opcode"), &msg);
+      std::string frame;
+      wire::BuildFrame(request_id, wire::Opcode::kError, msg, &frame);
+      consumed_total += consumed;
+      QueueResponse(shard, c, std::move(frame));
+      if (c->dead) break;
+      FlushOutput(shard, c);
+      if (c->dead) break;
+      continue;
+    }
+    consumed_total += consumed;
+
+    c->outstanding++;
+    shard->outstanding_total++;
+    std::string owned_payload = payload.ToString();
+    auto task = [this, conn, request_id, opcode,
+                 owned_payload = std::move(owned_payload)] {
+      ExecuteRequest(conn, request_id, opcode, owned_payload);
+    };
+    if (!pool_->Schedule(task)) {
+      // Pool is shutting down (server teardown racing a live shard):
+      // execute inline — the completion lands in our own queue and the
+      // drain loop below will process it.
+      task();
+    }
+  }
+  if (consumed_total > 0 && !c->dead) c->in_buf.erase(0, consumed_total);
+}
+
+void Server::QueueResponse(Shard* shard, Connection* c, std::string frame) {
+  if (c->dead) return;
+  c->out_bytes += frame.size();
+  c->out_frames.push_back(std::move(frame));
+  RelaxedMax(stats_->output_buffer_hwm, c->out_bytes);
+  if (c->out_bytes > options_.output_buffer_hard_limit) {
+    // Reading was paused at the soft limit, but responses already
+    // dispatched keep arriving; a peer that never drains past the hard
+    // limit is disconnected instead of buffering without bound.
+    RelaxedAdd(stats_->overflow_disconnects, 1);
+    CloseConnection(shard, c);
+  }
+}
+
+void Server::FlushOutput(Shard* shard, Connection* c) {
+  if (c->dead) return;
+  while (!c->out_frames.empty()) {
+    iovec iov[kMaxIov];
+    int cnt = 0;
+    size_t off = c->out_front_off;
+    for (auto it = c->out_frames.begin();
+         it != c->out_frames.end() && cnt < kMaxIov; ++it) {
+      iov[cnt].iov_base = const_cast<char*>(it->data() + off);
+      iov[cnt].iov_len = it->size() - off;
+      off = 0;
+      cnt++;
+    }
+    // sendmsg == vectored writev, plus MSG_NOSIGNAL so a dead peer yields
+    // EPIPE instead of killing the process.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(cnt);
+    ssize_t n = ::sendmsg(c->fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!c->want_write) {
+          c->want_write = true;
+          UpdateInterest(shard, c);
+        }
+        return;
+      }
+      CloseConnection(shard, c);  // peer gone: buffered responses are moot
+      return;
+    }
+    RelaxedAdd(stats_->writev_calls, 1);
+    RelaxedAdd(stats_->bytes_sent, static_cast<uint64_t>(n));
+    c->out_bytes -= static_cast<size_t>(n);
+    size_t left = static_cast<size_t>(n);
+    uint64_t retired = 0;
+    while (left > 0) {
+      std::string& front = c->out_frames.front();
+      const size_t remain = front.size() - c->out_front_off;
+      if (left >= remain) {
+        left -= remain;
+        c->out_front_off = 0;
+        c->out_frames.pop_front();
+        retired++;
+      } else {
+        c->out_front_off += left;
+        left = 0;
+      }
+    }
+    if (retired > 0) RelaxedAdd(stats_->responses_written, retired);
+  }
+  if (c->want_write) {
+    c->want_write = false;
+    UpdateInterest(shard, c);
+  }
+}
+
+void Server::UpdateInterest(Shard* shard, Connection* c) {
+  if (c->dead) return;
+  uint32_t ev = 0;
+  if (!c->read_closed && !c->paused) ev |= EPOLLIN;
+  if (c->want_write) ev |= EPOLLOUT;
+  if (ev == c->armed_events) return;
+  epoll_event e{};
+  e.events = ev;
+  e.data.ptr = c;
+  ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_MOD, c->fd, &e);
+  c->armed_events = ev;
+}
+
+void Server::MaybeResume(Shard* shard,
+                         const std::shared_ptr<Connection>& conn) {
+  Connection* c = conn.get();
+  if (c->dead || !c->paused) return;
+  if (c->outstanding >= options_.max_pipeline) return;
+  if (c->out_bytes > options_.output_buffer_soft_limit) return;
+  c->paused = false;
+  // Frames that were already buffered while paused decode now; the
+  // level-triggered EPOLLIN re-arm below picks up anything still queued
+  // in the kernel.
+  ProcessInput(shard, conn);
+  if (!c->dead) UpdateInterest(shard, c);
+}
+
+void Server::MaybeFinish(Shard* shard, Connection* c) {
+  if (c->dead || !c->read_closed || c->paused) return;
+  if (c->outstanding > 0 || !c->out_frames.empty()) return;
+  CloseConnection(shard, c);
+}
+
+void Server::CloseConnection(Shard* shard, Connection* c) {
+  if (c->dead) return;
+  c->dead = true;
+  ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+  // shutdown first: pushes a FIN at the peer even when unread input would
+  // otherwise make close() send RST.
+  ::shutdown(c->fd, SHUT_RDWR);
+  ::close(c->fd);
+  auto it = shard->conns.find(c->fd);
+  c->fd = -1;
+  if (it != shard->conns.end()) {
+    shard->graveyard.push_back(it->second);
+    shard->conns.erase(it);
+  }
+  RelaxedAdd(stats_->connections_active, static_cast<uint64_t>(-1));
+}
+
+void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn,
+                            uint64_t request_id, wire::Opcode opcode,
+                            const std::string& payload) {
+  RelaxedAdd(stats_->requests, 1);
+  std::string out;
   switch (opcode) {
     case wire::Opcode::kPing:
+      RelaxedAdd(stats_->pings, 1);
       wire::EncodeStatus(Status::OK(), &out);
       break;
     case wire::Opcode::kPut:
+      RelaxedAdd(stats_->puts, 1);
       DoPut(payload, &out);
       break;
     case wire::Opcode::kGet:
+      RelaxedAdd(stats_->gets, 1);
       DoGet(payload, &out);
       break;
+    case wire::Opcode::kMultiGet:
+      RelaxedAdd(stats_->mgets, 1);
+      DoMultiGet(payload, &out);
+      break;
     case wire::Opcode::kDelete:
+      RelaxedAdd(stats_->deletes, 1);
       DoDelete(payload, &out);
       break;
     case wire::Opcode::kWrite:
+      RelaxedAdd(stats_->writes, 1);
       DoWrite(payload, &out);
       break;
     case wire::Opcode::kScan:
+      RelaxedAdd(stats_->scans, 1);
       DoScan(payload, &out);
       break;
     case wire::Opcode::kInfo:
+      RelaxedAdd(stats_->infos, 1);
       DoInfo(payload, &out);
       break;
     default:
       wire::EncodeStatus(Status::InvalidArgument("unexpected opcode"), &out);
       break;
   }
-  SendResponse(conn, request_id, opcode, out);
-  {
-    // Notify under the lock: the drain path may free *conn the moment it
-    // observes outstanding == 0, so notifying after unlock could touch a
-    // dead condition variable.
-    std::lock_guard<std::mutex> l(conn->pipeline_mu);
-    conn->outstanding--;
-    conn->pipeline_cv.notify_all();
-  }
-}
-
-void Server::SendResponse(Connection* conn, uint64_t request_id,
-                          wire::Opcode opcode, const Slice& payload) {
   std::string frame;
-  wire::BuildFrame(request_id, opcode, payload, &frame);
-  std::lock_guard<std::mutex> l(conn->write_mu);
-  if (conn->write_failed) return;
-  if (!SendAll(conn->fd, frame.data(), frame.size())) {
-    conn->write_failed = true;
-    return;
+  wire::BuildFrame(request_id, opcode, out, &frame);
+
+  Shard* shard = conn->shard;
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> l(shard->mu);
+    shard->completions.emplace_back(conn, std::move(frame));
+    if (!shard->wake_pending) {
+      shard->wake_pending = true;
+      wake = true;
+    }
   }
-  std::lock_guard<std::mutex> sl(stats_mu_);
-  stats_.bytes_sent += frame.size();
+  if (wake) shard->Wake();
 }
 
 void Server::DoPut(const Slice& payload, std::string* out) {
@@ -396,6 +825,47 @@ void Server::DoGet(const Slice& payload, std::string* out) {
   Status s = db_->Get(ReadOptions(), key, &value);
   wire::EncodeStatus(s, out);
   if (s.ok()) PutLengthPrefixedSlice(out, value);
+}
+
+void Server::DoMultiGet(const Slice& payload, std::string* out) {
+  std::vector<Slice> keys;
+  if (!wire::DecodeMultiGet(payload, &keys)) {
+    wire::EncodeStatus(Status::InvalidArgument("malformed MGET payload"), out);
+    return;
+  }
+  if (keys.size() > options_.max_mget_keys) {
+    wire::EncodeStatus(
+        Status::InvalidArgument("MGET key count exceeds limit"), out);
+    return;
+  }
+  RelaxedAdd(stats_->mget_keys, keys.size());
+
+  // One snapshot for the whole batch: every key is read at the same
+  // sequence, so a batch can never observe half of a concurrent write.
+  const Snapshot* snapshot = db_->GetSnapshot();
+  ReadOptions read_options;
+  read_options.snapshot = snapshot;
+
+  std::vector<wire::MultiGetEntry> entries;
+  entries.reserve(keys.size());
+  size_t bytes = 0;
+  Status overall = Status::OK();
+  for (const Slice& key : keys) {
+    wire::MultiGetEntry e;
+    Status s = db_->Get(read_options, key, &e.value);
+    if (!s.ok()) e.value.clear();
+    e.code = wire::CodeOf(s);
+    bytes += e.value.size();
+    if (bytes > options_.max_scan_bytes) {
+      overall = Status::InvalidArgument("MGET response exceeds size limit");
+      break;
+    }
+    entries.push_back(std::move(e));
+  }
+  db_->ReleaseSnapshot(snapshot);
+
+  wire::EncodeStatus(overall, out);
+  if (overall.ok()) wire::EncodeMultiGetResponse(entries, out);
 }
 
 void Server::DoDelete(const Slice& payload, std::string* out) {
@@ -433,8 +903,7 @@ void Server::DoScan(const Slice& payload, std::string* out) {
     wire::EncodeStatus(Status::InvalidArgument("malformed SCAN payload"), out);
     return;
   }
-  uint32_t limit =
-      req.limit == 0 ? options_.default_scan_limit : req.limit;
+  uint32_t limit = req.limit == 0 ? options_.default_scan_limit : req.limit;
   if (limit > options_.max_scan_limit) limit = options_.max_scan_limit;
 
   wire::ScanResponse resp;
@@ -468,10 +937,19 @@ void Server::DoInfo(const Slice& payload, std::string* out) {
     return;
   }
   if (property.empty()) {
-    // Binary DbStats snapshot.
+    // Binary DbStats snapshot, with the serving-layer reactor counters
+    // grafted on (tags 23-28) so remote consumers see both in one frame.
     wire::EncodeStatus(Status::OK(), out);
+    DbStats db_stats = db_->GetStats();
+    ServerStats s = stats();
+    db_stats.server_loop_iterations = s.loop_iterations;
+    db_stats.server_writev_calls = s.writev_calls;
+    db_stats.server_responses_written = s.responses_written;
+    db_stats.server_output_buffer_hwm = s.output_buffer_hwm;
+    db_stats.server_backpressure_stalls = s.backpressure_stalls;
+    db_stats.server_accept_errors = s.accept_errors;
     std::string encoded;
-    wire::EncodeDbStats(db_->GetStats(), &encoded);
+    wire::EncodeDbStats(db_stats, &encoded);
     PutLengthPrefixedSlice(out, encoded);
     return;
   }

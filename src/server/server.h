@@ -1,17 +1,39 @@
-// Multi-threaded TCP front end exposing a DB over the wire protocol of
-// wire_protocol.h.  One acceptor thread owns the listening socket; each
-// connection gets a lightweight reader thread that decodes frames and
-// dispatches request execution onto a shared ThreadPool, so requests from
-// one connection are pipelined: up to `max_pipeline` of them execute
-// concurrently and responses are written back as they finish (correlated
-// by request_id, possibly out of order).
+// Event-driven TCP front end exposing a DB over the wire protocol of
+// wire_protocol.h.
+//
+// Thread model — O(shards + workers), independent of connection count:
+//
+//   * one acceptor thread owns the listening socket and hands accepted
+//     sockets to the reactor shards round-robin;
+//   * `num_shards` reactor threads each run an epoll loop over the
+//     non-blocking connections they own: they decode frames, dispatch
+//     request execution onto the shared two-lane ThreadPool, and write
+//     responses;
+//   * `num_workers` pool threads execute DB work and post each finished
+//     response back to the owning shard (eventfd wakeup), where it is
+//     appended to the connection's output buffer.
+//
+// Responses queued for one connection are flushed with a single writev()
+// whenever possible, so a pipelined client pays one syscall for a whole
+// batch of responses instead of one per response.  Requests from one
+// connection still pipeline: up to `max_pipeline` execute concurrently
+// and responses complete out of order (correlate by request_id).
+//
+// Backpressure: a connection whose output buffer exceeds
+// `output_buffer_soft_limit` stops being read (its requests stop being
+// decoded) until the peer drains; one that exceeds
+// `output_buffer_hard_limit` — possible because already-dispatched
+// requests keep completing while reading is paused — is disconnected.
 //
 // Shutdown is graceful: Stop() stops accepting, half-closes every
-// connection's read side, waits for in-flight requests to finish and their
-// responses to flush, then joins all threads.
+// connection's read side, waits for in-flight requests to finish and
+// their responses to flush, then joins all threads.  Stop() is
+// idempotent and a concurrent second caller blocks until the server is
+// fully stopped.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -31,11 +53,24 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   // 0 picks an ephemeral port; read it back via Server::port().
   int port = 0;
+  // DB work executes on this many pool threads.
   int num_workers = 4;
+  // Reactor shards owning connection I/O; 0 derives a default from
+  // hardware_concurrency (clamped to [1, 4]).
+  int num_shards = 0;
   int backlog = 128;
-  // Per-connection cap on concurrently executing requests; the reader
+  // Per-connection cap on concurrently executing requests; the shard
   // stops decoding further frames until a slot frees (backpressure).
   int max_pipeline = 128;
+  // Reading from a connection pauses while its buffered responses exceed
+  // the soft limit; the connection is dropped past the hard limit.
+  size_t output_buffer_soft_limit = 1u << 20;
+  size_t output_buffer_hard_limit = 64u << 20;
+  // SO_SNDBUF for accepted sockets; 0 keeps the OS default.  Tests shrink
+  // it so backpressure triggers deterministically.
+  int sndbuf_bytes = 0;
+  // Per-request cap on MGET fan-in.
+  uint32_t max_mget_keys = 4096;
   // SCAN limit applied when the request asks for 0, and the hard cap.
   uint32_t default_scan_limit = 1000;
   uint32_t max_scan_limit = 100000;
@@ -45,7 +80,8 @@ struct ServerOptions {
 };
 
 // Monotonic counters; sampled via GetProperty("server.stats") or the
-// INFO opcode's property passthrough.
+// INFO opcode's property passthrough.  Snapshot of the server-internal
+// relaxed atomics — counters are individually, not mutually, consistent.
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_active = 0;
@@ -57,9 +93,19 @@ struct ServerStats {
   uint64_t scans = 0;
   uint64_t infos = 0;
   uint64_t pings = 0;
+  uint64_t mgets = 0;
+  uint64_t mget_keys = 0;
   uint64_t malformed_frames = 0;
   uint64_t bytes_received = 0;
   uint64_t bytes_sent = 0;
+  // Reactor observability.
+  uint64_t accept_errors = 0;        // accept() failures (EMFILE backoff &c)
+  uint64_t loop_iterations = 0;      // epoll_wait returns, summed over shards
+  uint64_t writev_calls = 0;
+  uint64_t responses_written = 0;    // frames fully flushed to a socket
+  uint64_t output_buffer_hwm = 0;    // max buffered response bytes seen
+  uint64_t backpressure_stalls = 0;  // reads paused on the soft limit
+  uint64_t overflow_disconnects = 0; // connections dropped at the hard limit
 };
 
 class Server {
@@ -72,12 +118,14 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds, listens and starts the acceptor + worker pool.  Not restartable:
-  // one Start()/Stop() cycle per instance.
+  // Binds, listens and starts the acceptor, reactor shards and worker
+  // pool.  Not restartable: one Start()/Stop() cycle per instance.
   Status Start();
 
   // Graceful shutdown: drain in-flight requests, flush their responses,
-  // join every thread.  Idempotent; safe to call concurrently with serving.
+  // join every thread.  Idempotent; safe to call concurrently with
+  // serving.  A second concurrent caller blocks until teardown completes,
+  // so any caller returning from Stop() observes a fully stopped server.
   void Stop();
 
   // Port actually bound (differs from options.port when that was 0).
@@ -90,18 +138,38 @@ class Server {
   // Textual counters summary (the "server.stats" property body).
   std::string StatsString() const;
 
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
  private:
   struct Connection;
+  struct Shard;
+  struct AtomicStats;
+
+  enum class State { kIdle, kRunning, kStopping, kStopped };
 
   void AcceptLoop();
-  void ReadLoop(Connection* conn);
-  void HandleRequest(Connection* conn, uint64_t request_id, wire::Opcode op,
-                     const std::string& payload);
-  void SendResponse(Connection* conn, uint64_t request_id, wire::Opcode op,
-                    const Slice& payload);
-  void ReapFinishedConnections();  // conn_mu_ held
+  void ShardLoop(Shard* shard);
+
+  // Runs on a pool worker (or inline during teardown): executes the
+  // request against the DB, builds the complete response frame, posts it
+  // to the owning shard.
+  void ExecuteRequest(const std::shared_ptr<Connection>& conn,
+                      uint64_t request_id, wire::Opcode op,
+                      const std::string& payload);
+
+  // Shard-loop helpers; all run on the owning shard's thread.
+  void AddConnection(Shard* shard, int fd);
+  void HandleReadable(Shard* shard, const std::shared_ptr<Connection>& conn);
+  void ProcessInput(Shard* shard, const std::shared_ptr<Connection>& conn);
+  void QueueResponse(Shard* shard, Connection* conn, std::string frame);
+  void FlushOutput(Shard* shard, Connection* conn);
+  void UpdateInterest(Shard* shard, Connection* conn);
+  void MaybeResume(Shard* shard, const std::shared_ptr<Connection>& conn);
+  void MaybeFinish(Shard* shard, Connection* conn);
+  void CloseConnection(Shard* shard, Connection* conn);
 
   void DoGet(const Slice& payload, std::string* out);
+  void DoMultiGet(const Slice& payload, std::string* out);
   void DoPut(const Slice& payload, std::string* out);
   void DoDelete(const Slice& payload, std::string* out);
   void DoWrite(const Slice& payload, std::string* out);
@@ -117,12 +185,15 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex conn_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  // Start/Stop lifecycle; guards `state_` only (the serving hot path
+  // never touches it).
+  mutable std::mutex lifecycle_mu_;
+  std::condition_variable lifecycle_cv_;
+  State state_ = State::kIdle;
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  std::unique_ptr<AtomicStats> stats_;
 };
 
 }  // namespace iamdb

@@ -16,6 +16,7 @@ bool KnownOpcode(uint8_t b) {
     case Opcode::kWrite:
     case Opcode::kScan:
     case Opcode::kInfo:
+    case Opcode::kMultiGet:
     case Opcode::kError:
       return true;
   }
@@ -142,6 +143,27 @@ bool DecodeInfo(Slice payload, Slice* property) {
   return GetLengthPrefixedSlice(&payload, property) && payload.empty();
 }
 
+void EncodeMultiGet(const std::vector<std::string>& keys, std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(keys.size()));
+  for (const std::string& key : keys) PutLengthPrefixedSlice(dst, key);
+}
+
+bool DecodeMultiGet(Slice payload, std::vector<Slice>* keys) {
+  uint32_t n;
+  if (!GetVarint32(&payload, &n)) return false;
+  // One varstring needs at least its length byte; a count the remaining
+  // bytes cannot possibly satisfy is rejected before reserving anything.
+  if (static_cast<size_t>(n) > payload.size()) return false;
+  keys->clear();
+  keys->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    Slice key;
+    if (!GetLengthPrefixedSlice(&payload, &key)) return false;
+    keys->push_back(key);
+  }
+  return payload.empty();
+}
+
 // --- response payloads ----------------------------------------------------
 
 void EncodeStatus(const Status& s, std::string* dst) {
@@ -189,6 +211,39 @@ bool DecodeScanResponse(Slice payload, ScanResponse* resp) {
   return payload.empty();
 }
 
+void EncodeMultiGetResponse(const std::vector<MultiGetEntry>& entries,
+                            std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(entries.size()));
+  for (const MultiGetEntry& e : entries) {
+    dst->push_back(static_cast<char>(e.code));
+    if (e.code == StatusCode::kOk) PutLengthPrefixedSlice(dst, e.value);
+  }
+}
+
+bool DecodeMultiGetResponse(Slice payload,
+                            std::vector<MultiGetEntry>* entries) {
+  uint32_t n;
+  if (!GetVarint32(&payload, &n)) return false;
+  if (static_cast<size_t>(n) > payload.size()) return false;
+  entries->clear();
+  entries->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    if (payload.empty()) return false;
+    const uint8_t code = static_cast<uint8_t>(payload[0]);
+    if (code > static_cast<uint8_t>(StatusCode::kBusy)) return false;
+    payload.remove_prefix(1);
+    MultiGetEntry e;
+    e.code = static_cast<StatusCode>(code);
+    if (e.code == StatusCode::kOk) {
+      Slice value;
+      if (!GetLengthPrefixedSlice(&payload, &value)) return false;
+      e.value.assign(value.data(), value.size());
+    }
+    entries->push_back(std::move(e));
+  }
+  return payload.empty();
+}
+
 // --- DbStats serialization ------------------------------------------------
 // Each field is (tag varint32, length varint32, bytes); decoders skip
 // unknown tags so fields can be added compatibly.
@@ -218,6 +273,13 @@ enum StatsTag : uint32_t {
   kTagCompactQueueDepth = 20,
   kTagSubcompactionsRun = 21,
   kTagRateLimiterWaitMicros = 22,
+  // Serving-layer reactor counters, filled only by the server's INFO path.
+  kTagServerLoopIterations = 23,
+  kTagServerWritevCalls = 24,
+  kTagServerResponsesWritten = 25,
+  kTagServerOutputBufferHwm = 26,
+  kTagServerBackpressureStalls = 27,
+  kTagServerAcceptErrors = 28,
 };
 
 void PutField(std::string* dst, uint32_t tag, const std::string& bytes) {
@@ -289,6 +351,24 @@ void EncodeDbStats(const DbStats& stats, std::string* dst) {
   PutU64Field(dst, kTagCompactQueueDepth, stats.compact_queue_depth);
   PutU64Field(dst, kTagSubcompactionsRun, stats.subcompactions_run);
   PutU64Field(dst, kTagRateLimiterWaitMicros, stats.rate_limiter_wait_micros);
+  // The reactor tags are omitted entirely when zero (embedded DB): old
+  // decoders skip unknown tags anyway, and an embedded snapshot stays
+  // byte-identical to the pre-reactor encoding.
+  if (stats.server_loop_iterations != 0 || stats.server_writev_calls != 0 ||
+      stats.server_responses_written != 0 ||
+      stats.server_output_buffer_hwm != 0 ||
+      stats.server_backpressure_stalls != 0 ||
+      stats.server_accept_errors != 0) {
+    PutU64Field(dst, kTagServerLoopIterations, stats.server_loop_iterations);
+    PutU64Field(dst, kTagServerWritevCalls, stats.server_writev_calls);
+    PutU64Field(dst, kTagServerResponsesWritten,
+                stats.server_responses_written);
+    PutU64Field(dst, kTagServerOutputBufferHwm,
+                stats.server_output_buffer_hwm);
+    PutU64Field(dst, kTagServerBackpressureStalls,
+                stats.server_backpressure_stalls);
+    PutU64Field(dst, kTagServerAcceptErrors, stats.server_accept_errors);
+  }
 }
 
 bool DecodeDbStats(Slice payload, DbStats* stats) {
@@ -384,6 +464,24 @@ bool DecodeDbStats(Slice payload, DbStats* stats) {
         break;
       case kTagRateLimiterWaitMicros:
         if (!get_u64(&stats->rate_limiter_wait_micros)) return false;
+        break;
+      case kTagServerLoopIterations:
+        if (!get_u64(&stats->server_loop_iterations)) return false;
+        break;
+      case kTagServerWritevCalls:
+        if (!get_u64(&stats->server_writev_calls)) return false;
+        break;
+      case kTagServerResponsesWritten:
+        if (!get_u64(&stats->server_responses_written)) return false;
+        break;
+      case kTagServerOutputBufferHwm:
+        if (!get_u64(&stats->server_output_buffer_hwm)) return false;
+        break;
+      case kTagServerBackpressureStalls:
+        if (!get_u64(&stats->server_backpressure_stalls)) return false;
+        break;
+      case kTagServerAcceptErrors:
+        if (!get_u64(&stats->server_accept_errors)) return false;
         break;
       default:
         break;  // forward compatibility: skip unknown field

@@ -41,9 +41,10 @@ enum class Opcode : uint8_t {
   kGet = 3,
   kDelete = 4,
   kWrite = 5,   // WriteBatch (atomic multi-op)
-  kScan = 6,    // bounded forward range scan
-  kInfo = 7,    // DbStats snapshot or GetProperty passthrough
-  kError = 255  // server-generated: unparseable request
+  kScan = 6,      // bounded forward range scan
+  kInfo = 7,      // DbStats snapshot or GetProperty passthrough
+  kMultiGet = 8,  // batched point reads (one frame, per-key statuses)
+  kError = 255    // server-generated: unparseable request
 };
 
 // Status codes on the wire; mirrors util/status.h Status::Code.
@@ -72,6 +73,12 @@ struct ScanRequest {
 struct ScanResponse {
   std::vector<KeyValue> entries;
   bool truncated = false;  // hit limit with more data remaining
+};
+
+// One MGET response entry: per-key status code plus the value when found.
+struct MultiGetEntry {
+  StatusCode code = StatusCode::kNotFound;
+  std::string value;  // meaningful only when code == kOk
 };
 
 // --- frame assembly -------------------------------------------------------
@@ -114,6 +121,10 @@ bool DecodeScan(Slice payload, ScanRequest* req);
 void EncodeInfo(const Slice& property, std::string* dst);
 bool DecodeInfo(Slice payload, Slice* property);
 
+// MGET request: varint32 count + count varstring keys.
+void EncodeMultiGet(const std::vector<std::string>& keys, std::string* dst);
+bool DecodeMultiGet(Slice payload, std::vector<Slice>* keys);
+
 // --- response payloads ----------------------------------------------------
 // Every response payload begins with: code (1 byte) + varstring message.
 
@@ -122,6 +133,13 @@ bool DecodeStatus(Slice* payload, Status* s);  // advances past the status
 
 void EncodeScanResponse(const ScanResponse& resp, std::string* dst);
 bool DecodeScanResponse(Slice payload, ScanResponse* resp);
+
+// MGET response (after the overall status): varint32 count + count entries,
+// each a status-code byte followed by a varstring value iff the code is OK.
+void EncodeMultiGetResponse(const std::vector<MultiGetEntry>& entries,
+                            std::string* dst);
+bool DecodeMultiGetResponse(Slice payload,
+                            std::vector<MultiGetEntry>* entries);
 
 // --- DbStats serialization (INFO opcode) ----------------------------------
 // Tag-prefixed so fields can be added without breaking old clients; unknown

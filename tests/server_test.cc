@@ -2,6 +2,7 @@
 // every opcode, pipelined multi-client stress, malformed/truncated frame
 // handling, and graceful shutdown with in-flight requests.
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -9,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <thread>
@@ -27,6 +30,78 @@
 
 namespace iamdb {
 namespace {
+
+// Polls `cond` every 10ms for up to `timeout_ms`.
+bool WaitFor(const std::function<bool()>& cond, int timeout_ms = 5000) {
+  for (int waited = 0; waited < timeout_ms; waited += 10) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cond();
+}
+
+// Number of live threads in this process (/proc/self/task entries).
+int CountProcessThreads() {
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) return -1;
+  int n = 0;
+  while (dirent* e = ::readdir(dir)) {
+    if (e->d_name[0] != '.') n++;
+  }
+  ::closedir(dir);
+  return n;
+}
+
+// Blocking loopback connect to a local port; optional SO_RCVBUF shrink so a
+// deliberately slow reader backs the server's sends up quickly.
+int RawConnectTo(int port, int rcvbuf_bytes = 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(0,
+            ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)));
+  return fd;
+}
+
+// A DB + server pair with caller-chosen ServerOptions, for tests that need
+// non-default reactor tuning (tiny buffers, fixed shard counts, ...).
+struct OwnedServer {
+  std::unique_ptr<MemEnv> env;
+  std::unique_ptr<DB> db;
+  std::unique_ptr<Server> server;
+
+  OwnedServer() = default;
+  OwnedServer(OwnedServer&&) = default;
+  OwnedServer& operator=(OwnedServer&&) = default;
+
+  ~OwnedServer() {
+    if (server != nullptr) server->Stop();
+  }
+};
+
+OwnedServer StartOwnedServer(ServerOptions server_options) {
+  OwnedServer owned;
+  owned.env = std::make_unique<MemEnv>();
+  Options options;
+  options.env = owned.env.get();
+  options.node_capacity = 64 << 10;
+  options.table.block_size = 1024;
+  options.amt.fanout = 4;
+  EXPECT_TRUE(DB::Open(options, "/srv", &owned.db).ok());
+  server_options.port = 0;
+  owned.server = std::make_unique<Server>(owned.db.get(), server_options);
+  EXPECT_TRUE(owned.server->Start().ok());
+  EXPECT_GT(owned.server->port(), 0);
+  return owned;
+}
 
 class ServerTest : public testing::Test {
  protected:
@@ -481,6 +556,338 @@ TEST_F(ServerTest, ServerStatsCountOpcodes) {
   EXPECT_GT(stats.bytes_sent, 0u);
 }
 
+TEST_F(ServerTest, MultiGetRoundTrip) {
+  Client client(MakeClientOptions());
+  ASSERT_TRUE(client.Put("mg-a", "A").ok());
+  ASSERT_TRUE(client.Put("mg-b", "B").ok());
+  ASSERT_TRUE(client.Put("mg-empty", "").ok());
+
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  Status s = client.MultiGet({"mg-a", "missing", "mg-b", "mg-empty"},
+                             &values, &statuses);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(4u, values.size());
+  ASSERT_EQ(4u, statuses.size());
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_EQ("A", values[0]);
+  EXPECT_TRUE(statuses[1].IsNotFound());
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_EQ("B", values[2]);
+  EXPECT_TRUE(statuses[3].ok());
+  EXPECT_EQ("", values[3]);
+
+  // Degenerate empty batch round-trips.
+  ASSERT_TRUE(client.MultiGet({}, &values, &statuses).ok());
+  EXPECT_TRUE(values.empty());
+  EXPECT_TRUE(statuses.empty());
+
+  // A batch past the per-request key cap is rejected, not served.
+  std::vector<std::string> too_many(5000, "k");
+  s = client.MultiGet(too_many, &values, &statuses);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  EXPECT_GE(server_->stats().mgets, 2u);
+  EXPECT_GE(server_->stats().mget_keys, 4u);
+}
+
+TEST_F(ServerTest, MalformedMultiGetAnsweredWithoutDroppingConnection) {
+  int fd = RawConnect();
+  // Claims three keys, carries none: DecodeMultiGet must fail and the
+  // server must answer InvalidArgument on this request only.
+  std::string frame;
+  wire::BuildFrame(91, wire::Opcode::kMultiGet, Slice("\x03", 1), &frame);
+  wire::BuildFrame(92, wire::Opcode::kPing, Slice(), &frame);
+  ASSERT_TRUE(RawSend(fd, frame));
+
+  std::vector<std::string> bodies = RawReadBodies(fd, 2);
+  ASSERT_EQ(2u, bodies.size());
+  std::map<uint64_t, Status> by_id;
+  for (const std::string& b : bodies) {
+    uint64_t id;
+    wire::Opcode op;
+    Slice p;
+    ASSERT_TRUE(wire::ParseBody(b, &id, &op, &p));
+    Status s;
+    ASSERT_TRUE(wire::DecodeStatus(&p, &s));
+    by_id[id] = s;
+  }
+  EXPECT_TRUE(by_id[91].IsInvalidArgument()) << by_id[91].ToString();
+  EXPECT_TRUE(by_id[92].ok());
+  ::close(fd);
+}
+
+TEST_F(ServerTest, PipelinedClientWaitsOutOfOrder) {
+  Client client(MakeClientOptions());
+  constexpr int kN = 16;
+  for (int i = 0; i < kN; i++) {
+    ASSERT_TRUE(
+        client.Put("pl" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kN; i++) {
+    uint64_t id = client.SubmitGet("pl" + std::to_string(i));
+    ASSERT_NE(0u, id);
+    ids.push_back(id);
+  }
+  uint64_t miss_id = client.SubmitGet("pl-missing");
+  ASSERT_NE(0u, miss_id);
+  uint64_t mget_id = client.SubmitMultiGet({"pl0", "pl-missing", "pl5"});
+  ASSERT_NE(0u, mget_id);
+
+  // Claim responses in reverse submission order; early arrivals buffer.
+  for (int i = kN - 1; i >= 0; i--) {
+    std::string value;
+    Status s = client.WaitGet(ids[i], &value);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ("v" + std::to_string(i), value);
+  }
+  std::string value;
+  EXPECT_TRUE(client.WaitGet(miss_id, &value).IsNotFound());
+
+  std::vector<wire::MultiGetEntry> entries;
+  ASSERT_TRUE(client.WaitMultiGet(mget_id, &entries).ok());
+  ASSERT_EQ(3u, entries.size());
+  EXPECT_EQ(wire::StatusCode::kOk, entries[0].code);
+  EXPECT_EQ("v0", entries[0].value);
+  EXPECT_EQ(wire::StatusCode::kNotFound, entries[1].code);
+  EXPECT_EQ(wire::StatusCode::kOk, entries[2].code);
+  EXPECT_EQ("v5", entries[2].value);
+
+  // Each id is claimable exactly once.
+  EXPECT_TRUE(client.Wait(ids[0]).IsIOError());
+  // The connection still serves blocking calls afterwards.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+// The reactor thread model is O(shards + workers): parking 64 idle
+// connections on the server must not create a single extra thread.
+TEST_F(ServerTest, ThreadCountIndependentOfConnectionCount) {
+  Client client(MakeClientOptions());
+  ASSERT_TRUE(client.Ping().ok());  // serving path fully warmed up
+
+  const int before = CountProcessThreads();
+  ASSERT_GT(before, 0);
+
+  std::vector<int> fds;
+  for (int i = 0; i < 64; i++) fds.push_back(RawConnect());
+  ASSERT_TRUE(WaitFor([this] {
+    return server_->stats().connections_active >= 65;  // 64 + the client
+  })) << "server never registered all 64 connections";
+
+  EXPECT_EQ(before, CountProcessThreads())
+      << "thread count must not scale with connections";
+
+  for (int fd : fds) ::close(fd);
+}
+
+TEST_F(ServerTest, ShutdownWithInFlightDbWork) {
+  constexpr int kClients = 4;
+  constexpr int kOps = 50;
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::vector<std::pair<uint64_t, std::string>>> submitted(
+      kClients);
+  const std::string value(1024, 's');
+  for (int c = 0; c < kClients; c++) {
+    clients.push_back(std::make_unique<Client>(MakeClientOptions()));
+    ASSERT_TRUE(clients[c]->Connect().ok());
+    for (int i = 0; i < kOps; i++) {
+      std::string key = "sd" + std::to_string(c) + "-" + std::to_string(i);
+      uint64_t id = clients[c]->SubmitPut(key, value);
+      if (id != 0) submitted[c].emplace_back(id, key);
+    }
+  }
+
+  // Stop() races the in-flight pipelines: every request the server
+  // accepted must either be answered (and durably applied) or cleanly cut
+  // by the half-close — never crash, hang, or corrupt.
+  std::thread stopper([this] { server_->Stop(); });
+  std::vector<std::string> acked;
+  for (int c = 0; c < kClients; c++) {
+    for (const auto& [id, key] : submitted[c]) {
+      if (clients[c]->Wait(id).ok()) acked.push_back(key);
+    }
+  }
+  stopper.join();
+  EXPECT_FALSE(server_->running());
+
+  for (const std::string& key : acked) {
+    std::string got;
+    EXPECT_TRUE(db_->Get(ReadOptions(), key, &got).ok())
+        << "acknowledged put " << key << " missing from DB";
+  }
+}
+
+TEST_F(ServerTest, StopBlocksConcurrentSecondCaller) {
+  // Enough pipelined work that teardown is not instantaneous.
+  int fd = RawConnect();
+  std::string wire_out, payload;
+  wire::EncodePut("cc", std::string(4096, 'c'), &payload);
+  for (uint64_t id = 1; id <= 50; id++) {
+    wire::BuildFrame(id, wire::Opcode::kPut, payload, &wire_out);
+  }
+  ASSERT_TRUE(RawSend(fd, wire_out));
+
+  // Both concurrent callers must observe a fully-stopped server the
+  // moment their Stop() returns.
+  std::atomic<int> observed_stopped{0};
+  auto stop_and_check = [&] {
+    server_->Stop();
+    if (!server_->running()) observed_stopped++;
+  };
+  std::thread t1(stop_and_check);
+  std::thread t2(stop_and_check);
+  RawReadBodies(fd, 50);  // drain so the flush-then-close can complete
+  t1.join();
+  t2.join();
+  ::close(fd);
+  EXPECT_EQ(2, observed_stopped.load());
+}
+
+TEST(ServerLifecycleTest, StopBeforeStartDoesNotBreakLifecycle) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.node_capacity = 64 << 10;
+  options.table.block_size = 1024;
+  options.amt.fanout = 4;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/srv", &db).ok());
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  Server server(db.get(), server_options);
+  server.Stop();  // Stop before Start: must not latch the stopping state
+  server.Stop();
+  ASSERT_TRUE(server.Start().ok()) << "Stop() before Start() broke Start()";
+
+  ClientOptions client_options;
+  client_options.port = server.port();
+  client_options.connect_retries = 1;
+  Client client(client_options);
+  EXPECT_TRUE(client.Ping().ok());
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // One lifecycle per instance: a second Start() is refused, not UB.
+  EXPECT_FALSE(server.Start().ok());
+}
+
+// A peer that stops reading while pipelining requests must pause the
+// server's reads at the soft output limit (counted as a stall) — and the
+// stream must fully recover once the peer drains.
+TEST(ServerBackpressureTest, SlowReaderPausesReadsAndRecovers) {
+  ServerOptions server_options;
+  server_options.num_workers = 2;
+  server_options.num_shards = 1;
+  server_options.output_buffer_soft_limit = 32 << 10;
+  server_options.sndbuf_bytes = 8 << 10;
+  OwnedServer owned = StartOwnedServer(server_options);
+  const std::string big(8192, 'b');
+  ASSERT_TRUE(owned.db->Put(WriteOptions(), "big", big).ok());
+
+  int fd = RawConnectTo(owned.server->port(), /*rcvbuf_bytes=*/4096);
+  std::string get_payload;
+  wire::EncodeKey("big", &get_payload);
+
+  // Wave 1: pipeline 32 GETs and read nothing.  ~256KB of responses queue
+  // against an ~12KB transport pipe, so the buffer blows past the soft
+  // limit and sticks there.
+  std::string wave;
+  for (uint64_t id = 1; id <= 32; id++) {
+    wire::BuildFrame(id, wire::Opcode::kGet, get_payload, &wave);
+  }
+  ASSERT_TRUE(::send(fd, wave.data(), wave.size(), MSG_NOSIGNAL) ==
+              static_cast<ssize_t>(wave.size()));
+  ASSERT_TRUE(WaitFor([&] {
+    return owned.server->stats().output_buffer_hwm >
+           server_options.output_buffer_soft_limit;
+  })) << "responses never backed up past the soft limit";
+
+  // Wave 2: more requests while the buffer is over the limit — decoding
+  // them must stall instead of ballooning the buffer further.
+  wave.clear();
+  for (uint64_t id = 33; id <= 64; id++) {
+    wire::BuildFrame(id, wire::Opcode::kGet, get_payload, &wave);
+  }
+  ASSERT_TRUE(::send(fd, wave.data(), wave.size(), MSG_NOSIGNAL) ==
+              static_cast<ssize_t>(wave.size()));
+  ASSERT_TRUE(WaitFor([&] {
+    return owned.server->stats().backpressure_stalls >= 1;
+  })) << "paused read was never counted as a backpressure stall";
+
+  // Drain: every one of the 64 responses arrives intact and in full.
+  std::string buffer;
+  char chunk[16 << 10];
+  std::map<uint64_t, size_t> value_sizes;
+  while (value_sizes.size() < 64) {
+    Slice body;
+    size_t consumed;
+    wire::FrameResult r =
+        wire::DecodeFrame(buffer.data(), buffer.size(), &body, &consumed);
+    if (r == wire::FrameResult::kOk) {
+      uint64_t id;
+      wire::Opcode op;
+      Slice p;
+      ASSERT_TRUE(wire::ParseBody(body, &id, &op, &p));
+      ASSERT_EQ(wire::Opcode::kGet, op);
+      Status s;
+      ASSERT_TRUE(wire::DecodeStatus(&p, &s));
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      Slice value;
+      ASSERT_TRUE(GetLengthPrefixedSlice(&p, &value));
+      value_sizes[id] = value.size();
+      buffer.erase(0, consumed);
+      continue;
+    }
+    ASSERT_EQ(wire::FrameResult::kNeedMore, r);
+    ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(got, 0) << "connection died before all responses arrived";
+    buffer.append(chunk, static_cast<size_t>(got));
+  }
+  for (const auto& [id, size] : value_sizes) {
+    EXPECT_EQ(big.size(), size) << "response " << id;
+  }
+  ::close(fd);
+}
+
+// A peer that never drains past the hard output cap is disconnected
+// instead of buffering the server into the ground.
+TEST(ServerBackpressureTest, OverflowPastHardLimitDisconnects) {
+  ServerOptions server_options;
+  server_options.num_workers = 2;
+  server_options.num_shards = 1;
+  server_options.output_buffer_soft_limit = 4 << 10;
+  server_options.output_buffer_hard_limit = 64 << 10;
+  server_options.sndbuf_bytes = 8 << 10;
+  OwnedServer owned = StartOwnedServer(server_options);
+  ASSERT_TRUE(
+      owned.db->Put(WriteOptions(), "big", std::string(16 << 10, 'B')).ok());
+
+  int fd = RawConnectTo(owned.server->port(), /*rcvbuf_bytes=*/4096);
+  std::string get_payload, wave;
+  wire::EncodeKey("big", &get_payload);
+  for (uint64_t id = 1; id <= 64; id++) {
+    wire::BuildFrame(id, wire::Opcode::kGet, get_payload, &wave);
+  }
+  ASSERT_TRUE(::send(fd, wave.data(), wave.size(), MSG_NOSIGNAL) ==
+              static_cast<ssize_t>(wave.size()));
+
+  ASSERT_TRUE(WaitFor([&] {
+    return owned.server->stats().overflow_disconnects >= 1;
+  })) << "hard-limit overflow never disconnected the slow reader";
+
+  // The socket ends in EOF or reset — never a hang.
+  char chunk[16 << 10];
+  while (true) {
+    ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) break;
+  }
+  ::close(fd);
+  EXPECT_EQ(0u, owned.server->stats().connections_active);
+}
+
 // Wire-protocol unit coverage that needs no socket.
 TEST(WireProtocolTest, DbStatsRoundTrip) {
   DbStats stats;
@@ -502,6 +909,12 @@ TEST(WireProtocolTest, DbStatsRoundTrip) {
   stats.io.write_ops = 33;
   stats.io.read_ops = 44;
   stats.io.fsyncs = 5;
+  stats.server_loop_iterations = 1001;
+  stats.server_writev_calls = 1002;
+  stats.server_responses_written = 1003;
+  stats.server_output_buffer_hwm = 1004;
+  stats.server_backpressure_stalls = 1005;
+  stats.server_accept_errors = 1006;
 
   std::string encoded;
   wire::EncodeDbStats(stats, &encoded);
@@ -526,6 +939,50 @@ TEST(WireProtocolTest, DbStatsRoundTrip) {
   EXPECT_EQ(stats.io.write_ops, decoded.io.write_ops);
   EXPECT_EQ(stats.io.read_ops, decoded.io.read_ops);
   EXPECT_EQ(stats.io.fsyncs, decoded.io.fsyncs);
+  EXPECT_EQ(stats.server_loop_iterations, decoded.server_loop_iterations);
+  EXPECT_EQ(stats.server_writev_calls, decoded.server_writev_calls);
+  EXPECT_EQ(stats.server_responses_written, decoded.server_responses_written);
+  EXPECT_EQ(stats.server_output_buffer_hwm, decoded.server_output_buffer_hwm);
+  EXPECT_EQ(stats.server_backpressure_stalls,
+            decoded.server_backpressure_stalls);
+  EXPECT_EQ(stats.server_accept_errors, decoded.server_accept_errors);
+}
+
+TEST(WireProtocolTest, MultiGetPayloadRoundTripAndRejects) {
+  std::vector<std::string> keys = {"a", "", std::string("b\0c", 3)};
+  std::string payload;
+  wire::EncodeMultiGet(keys, &payload);
+  std::vector<Slice> decoded_keys;
+  ASSERT_TRUE(wire::DecodeMultiGet(payload, &decoded_keys));
+  ASSERT_EQ(keys.size(), decoded_keys.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    EXPECT_EQ(keys[i], decoded_keys[i].ToString());
+  }
+
+  // Count that exceeds the remaining bytes / truncated keys / trailing
+  // garbage are all rejected.
+  EXPECT_FALSE(wire::DecodeMultiGet(Slice("\x03", 1), &decoded_keys));
+  EXPECT_FALSE(wire::DecodeMultiGet(Slice("\x01\x05xy", 4), &decoded_keys));
+  std::string trailing = payload + "junk";
+  EXPECT_FALSE(wire::DecodeMultiGet(trailing, &decoded_keys));
+
+  std::vector<wire::MultiGetEntry> entries(3);
+  entries[0].code = wire::StatusCode::kOk;
+  entries[0].value = "value-a";
+  entries[1].code = wire::StatusCode::kNotFound;
+  entries[2].code = wire::StatusCode::kOk;
+  entries[2].value = "";
+  std::string resp;
+  wire::EncodeMultiGetResponse(entries, &resp);
+  std::vector<wire::MultiGetEntry> decoded;
+  ASSERT_TRUE(wire::DecodeMultiGetResponse(resp, &decoded));
+  ASSERT_EQ(3u, decoded.size());
+  EXPECT_EQ(wire::StatusCode::kOk, decoded[0].code);
+  EXPECT_EQ("value-a", decoded[0].value);
+  EXPECT_EQ(wire::StatusCode::kNotFound, decoded[1].code);
+  EXPECT_TRUE(decoded[1].value.empty());
+  EXPECT_EQ(wire::StatusCode::kOk, decoded[2].code);
+  EXPECT_TRUE(decoded[2].value.empty());
 }
 
 TEST(WireProtocolTest, DecodeFrameEdgeCases) {

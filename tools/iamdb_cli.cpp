@@ -4,6 +4,7 @@
 //   iamdb_cli [--host=H] [--port=N] ping
 //   iamdb_cli put <key> <value>
 //   iamdb_cli get <key>
+//   iamdb_cli mget <key> [key...]      (batched reads, one round trip)
 //   iamdb_cli del <key>
 //   iamdb_cli scan [start [end [limit]]]
 //   iamdb_cli info [property]          (e.g. iamdb.stats, server.stats)
@@ -61,6 +62,24 @@ void PrintStats(const DbStats& stats) {
   std::printf("io:                %" PRIu64 "B written / %" PRIu64
               "B read / %" PRIu64 " fsyncs\n",
               stats.io.bytes_written, stats.io.bytes_read, stats.io.fsyncs);
+  // Serving-layer reactor counters; only the server's INFO path fills
+  // these, and all-zero means an old server (or nothing observed yet).
+  if (stats.server_loop_iterations > 0 || stats.server_writev_calls > 0 ||
+      stats.server_backpressure_stalls > 0 || stats.server_accept_errors > 0) {
+    const double per_writev =
+        stats.server_writev_calls > 0
+            ? static_cast<double>(stats.server_responses_written) /
+                  static_cast<double>(stats.server_writev_calls)
+            : 0.0;
+    std::printf("reactor:           %" PRIu64 " loops, %" PRIu64
+                " writev (%.2f resp/writev)\n",
+                stats.server_loop_iterations, stats.server_writev_calls,
+                per_writev);
+    std::printf("reactor:           out_hwm %" PRIu64 "B, %" PRIu64
+                " stalls, %" PRIu64 " accept_errors\n",
+                stats.server_output_buffer_hwm,
+                stats.server_backpressure_stalls, stats.server_accept_errors);
+  }
 }
 
 // Returns the process exit code for one command; `argv`-style tokens.
@@ -77,6 +96,23 @@ int RunCommand(Client* client, const std::vector<std::string>& args) {
     std::string value;
     s = client->Get(args[1], &value);
     if (s.ok()) std::printf("%s\n", value.c_str());
+  } else if (cmd == "mget" && args.size() >= 2) {
+    std::vector<std::string> keys(args.begin() + 1, args.end());
+    std::vector<std::string> values;
+    std::vector<Status> statuses;
+    s = client->MultiGet(keys, &values, &statuses);
+    if (s.ok()) {
+      int found = 0;
+      for (size_t i = 0; i < keys.size(); i++) {
+        if (statuses[i].ok()) {
+          std::printf("%s => %s\n", keys[i].c_str(), values[i].c_str());
+          found++;
+        } else {
+          std::printf("%s => (not found)\n", keys[i].c_str());
+        }
+      }
+      std::printf("(%d/%zu found)\n", found, keys.size());
+    }
   } else if (cmd == "del" && args.size() == 2) {
     s = client->Delete(args[1]);
     if (s.ok()) std::printf("OK\n");
@@ -134,8 +170,9 @@ int Repl(Client* client) {
       if (tokens[0] == "quit" || tokens[0] == "exit") break;
       if (tokens[0] == "help") {
         std::printf(
-            "commands: ping | put k v | get k | del k | scan [start [end "
-            "[limit]]] | info [prop] | stats | batch | quit\n");
+            "commands: ping | put k v | get k | mget k [k...] | del k | "
+            "scan [start [end [limit]]] | info [prop] | stats | batch | "
+            "quit\n");
       } else if (tokens[0] == "batch") {
         // Collect put/del lines until `commit` (or `abort`), apply as one
         // atomic WriteBatch.

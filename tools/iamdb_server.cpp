@@ -2,7 +2,7 @@
 // (docs/PROTOCOL.md).
 //
 //   iamdb_server --db=/path/to/db [--port=4490] [--host=127.0.0.1]
-//                [--engine=iam|lsa|leveled] [--threads=4]
+//                [--engine=iam|lsa|leveled] [--threads=4] [--shards=N]
 //                [--bg_threads=N] [--subcompactions=N] [--rate_limit_mb=N]
 //                [--cache_mb=64] [--sync_wal]
 //
@@ -40,9 +40,9 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --db=<dir> [--port=N] [--host=ADDR] "
-               "[--engine=iam|lsa|leveled] [--threads=N] [--bg_threads=N] "
-               "[--subcompactions=N] [--rate_limit_mb=N] [--cache_mb=N] "
-               "[--sync_wal]\n",
+               "[--engine=iam|lsa|leveled] [--threads=N] [--shards=N] "
+               "[--bg_threads=N] [--subcompactions=N] [--rate_limit_mb=N] "
+               "[--cache_mb=N] [--sync_wal]\n",
                argv0);
   return 2;
 }
@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
       server_options.host = v;
     } else if (ParseFlag(argv[i], "threads", &v)) {
       server_options.num_workers = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "shards", &v)) {
+      server_options.num_shards = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "bg_threads", &v)) {
       bg_threads = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "subcompactions", &v)) {
@@ -119,9 +121,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("iamdb_server serving %s on %s:%d (%d workers)\n",
+  std::printf("iamdb_server serving %s on %s:%d (%d shards, %d workers)\n",
               dbdir.c_str(), server_options.host.c_str(), server.port(),
-              server_options.num_workers);
+              server.num_shards(), server_options.num_workers);
   std::fflush(stdout);
 
   sem_init(&g_shutdown_sem, 0, 0);
