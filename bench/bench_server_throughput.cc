@@ -11,8 +11,16 @@
 //    "ops_per_sec":123456.7,"p50_us":30.1,"p99_us":210.9,...,"cpus":1}
 //   {"bench":"server_async","op":"pipelined_get","connections":16,
 //    "depth":8,...}
+//
+// --db_shards=N serves a hash-partitioned ShardedDB instead of a single
+// instance; --shard_sweep replaces the standard suite with a PUT/GET/MGET
+// sweep over db_shards in {1,2,4,8} ("bench":"sharding" JSON lines, MGET
+// through the client-side shard-routing path).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <string>
@@ -24,6 +32,7 @@
 #include "env/mem_env.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "shard/sharded_db.h"
 #include "util/histogram.h"
 #include "util/random.h"
 #include "workload/harness.h"
@@ -155,8 +164,11 @@ CellResult RunPipelinedGetCell(int port, int connections,
 
 // Each op is one MGET of `batch` random keys; latency is per batch but
 // ops/ops_per_sec count keys, so cells compare directly against GET.
+// client_routed = true goes through MultiGetSharded (per-shard fan-out on
+// the client) instead of one server-side MGET frame.
 CellResult RunMgetCell(int port, int connections, uint64_t keys_per_conn,
-                       uint64_t key_space, int batch) {
+                       uint64_t key_space, int batch,
+                       bool client_routed = false) {
   std::vector<Histogram> histograms(connections);
   std::vector<uint64_t> key_counts(connections, 0);  // joined before read
   std::vector<std::thread> threads;
@@ -175,7 +187,9 @@ CellResult RunMgetCell(int port, int connections, uint64_t keys_per_conn,
         const double op_start = NowMicros();
         std::vector<std::string> values;
         std::vector<Status> statuses;
-        Status s = client.MultiGet(keys, &values, &statuses);
+        Status s = client_routed
+                       ? client.MultiGetSharded(keys, &values, &statuses)
+                       : client.MultiGet(keys, &values, &statuses);
         if (!s.ok()) {
           std::fprintf(stderr, "mget failed: %s\n", s.ToString().c_str());
           return;
@@ -196,6 +210,79 @@ CellResult RunMgetCell(int port, int connections, uint64_t keys_per_conn,
   return result;
 }
 
+// PUT / GET / client-routed MGET against a fresh ShardedDB(N) per point:
+// the scaling story of hash partitioning through the full wire path.
+int RunShardSweep(uint64_t ops_per_cell, uint64_t key_space) {
+  const int cpus = static_cast<int>(std::thread::hardware_concurrency());
+  constexpr int kConnections = 8;
+  constexpr int kMgetBatch = 8;
+  std::printf("=== sharded server sweep (%llu ops/cell, %d connections) ===\n",
+              static_cast<unsigned long long>(ops_per_cell), kConnections);
+  std::printf("%-10s %9s %12s %9s %9s %9s\n", "op", "db_shards", "ops/sec",
+              "p50(us)", "p99(us)", "p999(us)");
+  for (int num_shards : {1, 2, 4, 8}) {
+    MemEnv env;
+    Options db_options;
+    db_options.env = &env;
+    db_options.background_threads = 2;
+    std::unique_ptr<DB> db;
+    Status s = ShardedDB::Open(db_options, "/bench-sharded", num_shards, &db);
+    if (!s.ok()) {
+      std::fprintf(stderr, "sharded open failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    ServerOptions server_options;
+    server_options.port = 0;
+    server_options.num_workers = 8;
+    Server server(db.get(), server_options);
+    s = server.Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+
+    {
+      ClientOptions options;
+      options.port = server.port();
+      Client client(options);
+      const std::string value(kValueSize, 'v');
+      for (uint64_t i = 0; i < key_space; i++) {
+        if (!client.Put(Key(i), value).ok()) {
+          std::fprintf(stderr, "preload failed\n");
+          return 1;
+        }
+      }
+      db->WaitForQuiescence();
+    }
+
+    auto emit = [&](const char* op, const CellResult& r) {
+      std::printf("%-10s %9d %12.0f %9.1f %9.1f %9.1f\n", op, num_shards,
+                  r.ops_per_sec, r.latency_us.Percentile(50),
+                  r.latency_us.Percentile(99), r.latency_us.Percentile(99.9));
+      std::printf(
+          "{\"bench\":\"sharding\",\"op\":\"%s\",\"db_shards\":%d,"
+          "\"connections\":%d,\"ops\":%llu,\"ops_per_sec\":%.1f,"
+          "\"p50_us\":%.1f,\"p99_us\":%.1f,\"p999_us\":%.1f,\"cpus\":%d}\n",
+          op, num_shards, kConnections,
+          static_cast<unsigned long long>(r.ops), r.ops_per_sec,
+          r.latency_us.Percentile(50), r.latency_us.Percentile(99),
+          r.latency_us.Percentile(99.9), cpus);
+      std::fflush(stdout);
+    };
+    const uint64_t per_conn =
+        std::max<uint64_t>(1, ops_per_cell / kConnections);
+    emit("put", RunCell(server.port(), kConnections, per_conn, key_space,
+                        /*do_put=*/true));
+    db->WaitForQuiescence();
+    emit("get", RunCell(server.port(), kConnections, per_conn, key_space,
+                        /*do_put=*/false));
+    emit("mget", RunMgetCell(server.port(), kConnections, per_conn, key_space,
+                             kMgetBatch, /*client_routed=*/true));
+    server.Stop();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -203,12 +290,25 @@ int main(int argc, char** argv) {
   const uint64_t ops_per_cell = bench::Scaled(40000, scale);
   const uint64_t key_space = bench::Scaled(100000, scale);
 
+  int db_shards = 0;
+  bool shard_sweep = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--db_shards=", 12) == 0) {
+      db_shards = std::atoi(argv[i] + 12);
+    } else if (std::strcmp(argv[i], "--shard_sweep") == 0) {
+      shard_sweep = true;
+    }
+  }
+  if (shard_sweep) return RunShardSweep(ops_per_cell, key_space);
+
   MemEnv env;
   Options db_options;
   db_options.env = &env;
   db_options.background_threads = 2;
   std::unique_ptr<DB> db;
-  Status s = DB::Open(db_options, "/bench-server", &db);
+  Status s = db_shards > 0
+                 ? ShardedDB::Open(db_options, "/bench-server", db_shards, &db)
+                 : DB::Open(db_options, "/bench-server", &db);
   if (!s.ok()) {
     std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
     return 1;

@@ -859,21 +859,28 @@ Status AmtEngine::RunFlushImm(const Job& job, WorkLane lane) {
                          TableFileName(db_->dbname(), file_number));
     s = writer.Open();
     MSTableBuildResult result;
+    uint64_t records_added = 0;
     if (s.ok()) {
       CompactionStream stream(imm->NewIterator(), smallest_snapshot,
                               /*bottommost=*/n <= 1);
       while (stream.Valid() && s.ok()) {
         s = writer.Add(stream.key(), stream.value());
+        records_added++;
         stream.Next();
       }
       if (s.ok()) s = stream.status();
-      if (s.ok()) {
+      if (s.ok() && records_added == 0) {
+        // Every record was a tombstone elided by the bottommost stream:
+        // there is nothing to install.  Drop the file; the edit below
+        // still advances the log number so the WAL can be released.
+        writer.Abandon();
+      } else if (s.ok()) {
         s = writer.Finish(/*sync=*/true, &result);
       } else {
         writer.Abandon();
       }
     }
-    if (s.ok()) {
+    if (s.ok() && records_added > 0) {
       auto node = std::make_shared<NodeMeta>();
       node->node_id = node_id;
       node->file_number = file_number;

@@ -65,6 +65,17 @@ struct DbStats {
   uint64_t server_accept_errors = 0;
 };
 
+// Aggregation across DB instances (ShardedDB sums its shards' stats).
+// Counters and byte totals add; per-level vectors pad-and-add; the write
+// amps combine weighted by each side's user_bytes (so the result is
+// total-bytes-written / total-user-bytes, not an average of ratios);
+// mixed_level / mixed_level_k take the max — they are structural
+// per-instance values, the per-shard breakdown lives under the
+// "iamdb.shard-stats" property.  Every DbStats field must be handled here
+// and in the wire codec; tests/db_stats_test.cc fails if either misses a
+// field.
+DbStats& operator+=(DbStats& lhs, const DbStats& rhs);
+
 class DB {
  public:
   // Opens (creating if allowed) the database at `name`.
@@ -115,6 +126,21 @@ class DB {
   // Validates the engine's structural invariants (testing hook).  Pass
   // quiescent=true only after WaitForQuiescence.
   virtual Status CheckInvariants(bool quiescent) = 0;
+
+  // ---- sharding surface (ShardedDB overrides; docs/SHARDING.md) ----
+  // Hash-partition fan-out of this instance: 1 for a plain DBImpl, N for a
+  // ShardedDB.  Shard-scoped SCAN requests on the wire use these so a
+  // cluster-aware client can stream one shard at a time and merge
+  // client-side.
+  virtual int NumShards() const { return 1; }
+  // Iterator over just one shard's keys (shard in [0, NumShards())).
+  // For an unsharded DB, shard 0 is the whole keyspace.
+  virtual Iterator* NewShardIterator(const ReadOptions& options, int shard) {
+    if (shard != 0) {
+      return NewErrorIterator(Status::InvalidArgument("shard out of range"));
+    }
+    return NewIterator(options);
+  }
 };
 
 // Deletes all files of the named database.

@@ -1,0 +1,81 @@
+// DbStats aggregation.  ShardedDB::GetStats folds per-shard snapshots with
+// this operator; tests/db_stats_test.cc walks every wire tag and fails if
+// a newly added field is missing here or in the codec.
+#include <algorithm>
+#include <cstdint>
+
+#include "core/db.h"
+
+namespace iamdb {
+
+namespace {
+
+// Write amp is a ratio (bytes written / user bytes); combining two
+// instances must weight each side by its denominator so the result equals
+// the amp a single instance with the union of their traffic would report.
+double CombineAmps(double lhs_amp, uint64_t lhs_user, double rhs_amp,
+                   uint64_t rhs_user) {
+  const double total_user =
+      static_cast<double>(lhs_user) + static_cast<double>(rhs_user);
+  if (total_user <= 0) return 0;
+  return (lhs_amp * static_cast<double>(lhs_user) +
+          rhs_amp * static_cast<double>(rhs_user)) /
+         total_user;
+}
+
+template <typename T>
+void PadAndAdd(std::vector<T>* lhs, const std::vector<T>& rhs) {
+  if (lhs->size() < rhs.size()) lhs->resize(rhs.size(), T{});
+  for (size_t i = 0; i < rhs.size(); i++) (*lhs)[i] += rhs[i];
+}
+
+}  // namespace
+
+DbStats& operator+=(DbStats& lhs, const DbStats& rhs) {
+  // Amps first: they read user_bytes before it is summed.  A self-add
+  // (x += x) still works because rhs's fields are read before lhs mutates
+  // the ones they depend on.
+  lhs.total_write_amp = CombineAmps(lhs.total_write_amp, lhs.user_bytes,
+                                    rhs.total_write_amp, rhs.user_bytes);
+  if (lhs.level_write_amp.size() < rhs.level_write_amp.size()) {
+    lhs.level_write_amp.resize(rhs.level_write_amp.size(), 0);
+  }
+  for (size_t i = 0; i < rhs.level_write_amp.size(); i++) {
+    lhs.level_write_amp[i] = CombineAmps(lhs.level_write_amp[i],
+                                         lhs.user_bytes,
+                                         rhs.level_write_amp[i],
+                                         rhs.user_bytes);
+  }
+
+  PadAndAdd(&lhs.level_bytes, rhs.level_bytes);
+  PadAndAdd(&lhs.level_node_counts, rhs.level_node_counts);
+
+  lhs.user_bytes += rhs.user_bytes;
+  lhs.space_used_bytes += rhs.space_used_bytes;
+  lhs.cache_usage += rhs.cache_usage;
+  lhs.cache_hits += rhs.cache_hits;
+  lhs.cache_misses += rhs.cache_misses;
+  lhs.mixed_level = std::max(lhs.mixed_level, rhs.mixed_level);
+  lhs.mixed_level_k = std::max(lhs.mixed_level_k, rhs.mixed_level_k);
+  lhs.pending_debt_bytes += rhs.pending_debt_bytes;
+  lhs.stall_micros += rhs.stall_micros;
+  lhs.io.bytes_written += rhs.io.bytes_written;
+  lhs.io.bytes_read += rhs.io.bytes_read;
+  lhs.io.write_ops += rhs.io.write_ops;
+  lhs.io.read_ops += rhs.io.read_ops;
+  lhs.io.fsyncs += rhs.io.fsyncs;
+  lhs.flush_queue_depth += rhs.flush_queue_depth;
+  lhs.compact_queue_depth += rhs.compact_queue_depth;
+  lhs.subcompactions_run += rhs.subcompactions_run;
+  lhs.rate_limiter_wait_micros += rhs.rate_limiter_wait_micros;
+  lhs.server_loop_iterations += rhs.server_loop_iterations;
+  lhs.server_writev_calls += rhs.server_writev_calls;
+  lhs.server_responses_written += rhs.server_responses_written;
+  lhs.server_output_buffer_hwm =
+      std::max(lhs.server_output_buffer_hwm, rhs.server_output_buffer_hwm);
+  lhs.server_backpressure_stalls += rhs.server_backpressure_stalls;
+  lhs.server_accept_errors += rhs.server_accept_errors;
+  return lhs;
+}
+
+}  // namespace iamdb

@@ -8,12 +8,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
 #include "memtable/write_batch.h"
+#include "shard/shard_map.h"
 #include "util/coding.h"
 
 namespace iamdb {
@@ -124,8 +127,11 @@ void Client::CloseLocked() {
     fd_ = -1;
   }
   recv_buffer_.clear();
-  // Pipelined requests still in flight died with the connection; already
-  // received responses in ready_ stay claimable.
+  // Pipelined requests still in flight died with the connection.  Remember
+  // their ids so each pending Wait* fails with the distinct connection-lost
+  // error instead of hanging or claiming the id was never submitted.
+  // Already received responses in ready_ stay claimable.
+  for (const auto& [id, opcode] : inflight_) lost_.insert(id);
   inflight_.clear();
 }
 
@@ -334,6 +340,13 @@ uint64_t Client::SubmitMultiGet(const std::vector<std::string>& keys) {
   return SubmitLocked(wire::Opcode::kMultiGet, payload);
 }
 
+uint64_t Client::SubmitScan(const wire::ScanRequest& req) {
+  std::string payload;
+  wire::EncodeScan(req, &payload);
+  std::lock_guard<std::mutex> l(mu_);
+  return SubmitLocked(wire::Opcode::kScan, payload);
+}
+
 Status Client::WaitLocked(uint64_t id, std::string* response_payload) {
   auto DecodeReady = [&](const std::string& body_payload) {
     Slice rest(body_payload);
@@ -354,6 +367,12 @@ Status Client::WaitLocked(uint64_t id, std::string* response_payload) {
       ready_.erase(ready);
       return DecodeReady(body_payload);
     }
+    auto lost = lost_.find(id);
+    if (lost != lost_.end()) {
+      lost_.erase(lost);
+      return Status::IOError("connection lost with request in flight",
+                             "id " + std::to_string(id));
+    }
     auto inflight = inflight_.find(id);
     if (inflight == inflight_.end()) {
       return Status::IOError("request is not in flight",
@@ -364,6 +383,7 @@ Status Client::WaitLocked(uint64_t id, std::string* response_payload) {
     Status s = ReadFrame(&body);
     if (!s.ok()) {
       CloseLocked();
+      lost_.erase(id);  // this wait reports the failure for its own id
       return s;
     }
     uint64_t resp_id;
@@ -371,6 +391,7 @@ Status Client::WaitLocked(uint64_t id, std::string* response_payload) {
     Slice resp_payload;
     if (!wire::ParseBody(body, &resp_id, &resp_op, &resp_payload)) {
       CloseLocked();
+      lost_.erase(id);
       return Status::Corruption("malformed response body");
     }
     if (resp_op == wire::Opcode::kError) {
@@ -392,6 +413,7 @@ Status Client::WaitLocked(uint64_t id, std::string* response_payload) {
     auto expected = inflight_.find(resp_id);
     if (expected == inflight_.end() || expected->second != resp_op) {
       CloseLocked();
+      lost_.erase(id);
       return Status::Corruption("response correlation mismatch");
     }
     inflight_.erase(expected);
@@ -429,6 +451,197 @@ Status Client::WaitMultiGet(uint64_t id,
   if (!wire::DecodeMultiGetResponse(resp, entries)) {
     return Status::Corruption("malformed MGET response");
   }
+  return Status::OK();
+}
+
+Status Client::WaitScan(uint64_t id, wire::ScanResponse* resp) {
+  std::string payload;
+  Status s = Wait(id, &payload);
+  if (!s.ok()) return s;
+  if (!wire::DecodeScanResponse(payload, resp)) {
+    return Status::Corruption("malformed SCAN response");
+  }
+  return Status::OK();
+}
+
+// --- cluster-aware API ----------------------------------------------------
+
+Status Client::GetShardMap(int* num_shards) {
+  std::string text;
+  Status s = GetProperty("iamdb.shardmap", &text);
+  if (s.IsNotFound()) {
+    *num_shards = 1;  // pre-shard server: the whole keyspace is one shard
+    return Status::OK();
+  }
+  if (!s.ok()) return s;
+  ShardMap map;
+  if (!ParseShardMap(text, &map) || map.num_shards == 0) {
+    return Status::Corruption("malformed shard map", text);
+  }
+  *num_shards = static_cast<int>(map.num_shards);
+  return Status::OK();
+}
+
+Status Client::EnsureShardMap(int* num_shards) {
+  int cached = shard_count_.load(std::memory_order_acquire);
+  if (cached == 0) {
+    Status s = GetShardMap(&cached);
+    if (!s.ok()) return s;
+    shard_count_.store(cached, std::memory_order_release);
+  }
+  *num_shards = cached;
+  return Status::OK();
+}
+
+Status Client::MultiGetSharded(const std::vector<std::string>& keys,
+                               std::vector<std::string>* values,
+                               std::vector<Status>* statuses) {
+  values->clear();
+  statuses->clear();
+  if (keys.empty()) return Status::OK();
+
+  int num_shards = 1;
+  Status s = EnsureShardMap(&num_shards);
+  if (!s.ok()) return s;
+  if (num_shards <= 1) return MultiGet(keys, values, statuses);
+
+  // Group key positions by owning shard, preserving input order within
+  // each group so responses scatter back by position.
+  std::vector<std::vector<size_t>> groups(num_shards);
+  for (size_t i = 0; i < keys.size(); i++) {
+    groups[ShardOf(keys[i], static_cast<uint32_t>(num_shards))].push_back(i);
+  }
+
+  struct Fanout {
+    uint64_t id;
+    const std::vector<size_t>* positions;
+  };
+  std::vector<Fanout> fanout;
+  std::vector<std::string> sub_keys;
+  Status submit_error;
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    sub_keys.clear();
+    sub_keys.reserve(group.size());
+    for (size_t pos : group) sub_keys.push_back(keys[pos]);
+    uint64_t id = SubmitMultiGet(sub_keys);
+    if (id == 0) {
+      submit_error = Status::IOError("send failed during MGET fan-out");
+      break;
+    }
+    fanout.push_back({id, &group});
+  }
+
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::OK());
+  // Drain every submitted sub-request even after a failure so the
+  // connection state stays coherent; first error wins.
+  Status first_error = submit_error;
+  for (const Fanout& f : fanout) {
+    std::vector<wire::MultiGetEntry> entries;
+    Status ws = WaitMultiGet(f.id, &entries);
+    if (ws.ok() && entries.size() != f.positions->size()) {
+      ws = Status::Corruption("MGET fan-out arity mismatch");
+    }
+    if (!ws.ok()) {
+      if (first_error.ok()) first_error = ws;
+      continue;
+    }
+    for (size_t j = 0; j < entries.size(); j++) {
+      const size_t pos = (*f.positions)[j];
+      (*statuses)[pos] = wire::MakeStatus(entries[j].code, Slice());
+      (*values)[pos] = std::move(entries[j].value);
+    }
+  }
+  if (!first_error.ok()) {
+    values->clear();
+    statuses->clear();
+    return first_error;
+  }
+  return Status::OK();
+}
+
+Status Client::ScanSharded(const Slice& start_key, const Slice& end_key,
+                           uint32_t limit, std::vector<wire::KeyValue>* entries,
+                           bool* truncated) {
+  entries->clear();
+  if (truncated != nullptr) *truncated = false;
+
+  int num_shards = 1;
+  Status s = EnsureShardMap(&num_shards);
+  if (!s.ok()) return s;
+  if (num_shards <= 1) return Scan(start_key, end_key, limit, entries, truncated);
+
+  // Every shard scans the same bounds with the same limit: to produce a
+  // correct global prefix of L entries, each shard may need to contribute
+  // up to all L of them.
+  std::vector<uint64_t> ids;
+  ids.reserve(num_shards);
+  Status submit_error;
+  for (int i = 0; i < num_shards; i++) {
+    wire::ScanRequest req;
+    req.start_key = start_key.ToString();
+    req.end_key = end_key.ToString();
+    req.limit = limit;
+    req.shard = i;
+    uint64_t id = SubmitScan(req);
+    if (id == 0) {
+      submit_error = Status::IOError("send failed during SCAN fan-out");
+      break;
+    }
+    ids.push_back(id);
+  }
+
+  std::vector<wire::ScanResponse> responses(ids.size());
+  Status first_error = submit_error;
+  for (size_t i = 0; i < ids.size(); i++) {
+    Status ws = WaitScan(ids[i], &responses[i]);
+    if (!ws.ok() && first_error.ok()) first_error = ws;
+  }
+  if (!first_error.ok()) return first_error;
+
+  // A truncated shard covers the range only up to its last returned key;
+  // the merged result must stop at the lowest such frontier or it would
+  // skip that shard's unseen keys.  A truncated shard with no entries
+  // covers nothing.
+  bool any_truncated = false;
+  bool empty_frontier = false;
+  std::string frontier;
+  for (const auto& resp : responses) {
+    if (!resp.truncated) continue;
+    any_truncated = true;
+    if (resp.entries.empty()) {
+      empty_frontier = true;
+    } else if (frontier.empty() || resp.entries.back().first < frontier) {
+      frontier = resp.entries.back().first;
+    }
+  }
+  if (empty_frontier) {
+    if (truncated != nullptr) *truncated = true;
+    return Status::OK();
+  }
+
+  // K-way merge by key.  Shards partition the keyspace, so keys never tie.
+  std::vector<size_t> cursor(responses.size(), 0);
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < responses.size(); i++) {
+      if (cursor[i] >= responses[i].entries.size()) continue;
+      if (best < 0 || responses[i].entries[cursor[i]].first <
+                          responses[best].entries[cursor[best]].first) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    wire::KeyValue& kv = responses[best].entries[cursor[best]++];
+    if (any_truncated && kv.first > frontier) break;
+    if (limit > 0 && entries->size() >= limit) {
+      any_truncated = true;
+      break;
+    }
+    entries->push_back(std::move(kv));
+  }
+  if (truncated != nullptr) *truncated = any_truncated;
   return Status::OK();
 }
 

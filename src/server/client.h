@@ -18,9 +18,11 @@
 // once.  Mutations are never auto-retried: the original may have applied.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -79,6 +81,33 @@ class Client {
   // Remote GetProperty; also accepts the server-side "server.stats" key.
   Status GetProperty(const Slice& property, std::string* value);
 
+  // --- cluster-aware API --------------------------------------------------
+  // The server exposes its shard layout as the "iamdb.shardmap" property;
+  // a non-sharded server reports NotFound, which maps to 1 shard here.
+  // The count is cached after the first fetch (it is fixed for the life of
+  // a database, so one round trip suffices).
+  Status GetShardMap(int* num_shards);
+
+  // MGET with client-side routing: keys are grouped by owning shard
+  // (shard_map.h's ShardOf — the same function the server partitions by),
+  // one pipelined MGET per shard, results scattered back into key order.
+  // Falls back to plain MultiGet against a 1-shard server.  Each shard's
+  // sub-MGET runs at that shard's snapshot; there is no cross-shard
+  // snapshot (docs/SHARDING.md).  Empty key set returns OK with empty
+  // outputs without touching the network.
+  Status MultiGetSharded(const std::vector<std::string>& keys,
+                         std::vector<std::string>* values,
+                         std::vector<Status>* statuses);
+
+  // SCAN with client-side fan-out: one shard-scoped scan per shard,
+  // pipelined, merged by key client-side.  If any shard truncated, the
+  // merged result is cut at the lowest last-returned key among truncated
+  // shards so it stays a correct prefix of the global range, and
+  // *truncated is set.
+  Status ScanSharded(const Slice& start_key, const Slice& end_key,
+                     uint32_t limit, std::vector<wire::KeyValue>* entries,
+                     bool* truncated = nullptr);
+
   // --- pipelined API ------------------------------------------------------
   // Submit* sends the request and returns its correlation id immediately
   // (0 if the send failed — the connection is closed and every request
@@ -89,13 +118,18 @@ class Client {
   uint64_t SubmitPut(const Slice& key, const Slice& value);
   uint64_t SubmitGet(const Slice& key);
   uint64_t SubmitMultiGet(const std::vector<std::string>& keys);
+  uint64_t SubmitScan(const wire::ScanRequest& req);
 
   // Raw wait: *response_payload (optional) receives the payload after the
-  // decoded status.
+  // decoded status.  If the connection died while this id was in flight
+  // (peer reset, send failure on a later submit, a corrupt frame), Wait
+  // fails with a distinct IOError ("connection lost with request in
+  // flight") rather than hanging or reporting "not in flight".
   Status Wait(uint64_t id, std::string* response_payload = nullptr);
   // Typed waits for the common cases.
   Status WaitGet(uint64_t id, std::string* value);
   Status WaitMultiGet(uint64_t id, std::vector<wire::MultiGetEntry>* entries);
+  Status WaitScan(uint64_t id, wire::ScanResponse* resp);
 
  private:
   // Sends one request and blocks for its response; handles lazy connect
@@ -114,6 +148,9 @@ class Client {
   // *response_payload with the bytes after the status.
   Status WaitLocked(uint64_t id, std::string* response_payload);
 
+  // Fetches the shard count on first use; later calls are lock-free.
+  Status EnsureShardMap(int* num_shards);
+
   const ClientOptions options_;
   mutable std::mutex mu_;
   int fd_ = -1;
@@ -124,6 +161,14 @@ class Client {
   // Responses received while waiting for a different id: id -> body
   // payload (status + opcode-specific bytes).  Survives a disconnect.
   std::map<uint64_t, std::string> ready_;
+  // Requests that were in flight when the connection died.  Waiting on one
+  // of these ids reports the distinct connection-lost IOError exactly once
+  // (the id is then forgotten), so pipelined callers with several
+  // outstanding ids all learn their requests are gone instead of hanging
+  // on a dead socket.
+  std::set<uint64_t> lost_;
+  // Shard count learned from the server; 0 = not fetched yet.
+  std::atomic<int> shard_count_{0};
 };
 
 }  // namespace iamdb

@@ -905,10 +905,22 @@ void Server::DoScan(const Slice& payload, std::string* out) {
   }
   uint32_t limit = req.limit == 0 ? options_.default_scan_limit : req.limit;
   if (limit > options_.max_scan_limit) limit = options_.max_scan_limit;
+  if (req.shard >= db_->NumShards()) {
+    wire::EncodeStatus(
+        Status::InvalidArgument("shard out of range: server has " +
+                                std::to_string(db_->NumShards()) + " shards"),
+        out);
+    return;
+  }
 
   wire::ScanResponse resp;
   size_t bytes = 0;
-  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  // shard >= 0 scopes the scan to one shard so cluster-aware clients can
+  // fan out and merge client-side; -1 scans the whole database (merged
+  // server-side when the DB is a ShardedDB).
+  std::unique_ptr<Iterator> iter(
+      req.shard >= 0 ? db_->NewShardIterator(ReadOptions(), req.shard)
+                     : db_->NewIterator(ReadOptions()));
   if (req.start_key.empty()) {
     iter->SeekToFirst();
   } else {

@@ -68,6 +68,12 @@ struct ScanRequest {
   std::string start_key;  // inclusive; empty = first key
   std::string end_key;    // exclusive; empty = unbounded
   uint32_t limit = 0;     // max entries; 0 = server default
+  // Restrict the scan to one shard of a sharded server (-1 = whole
+  // database, merged server-side).  Cluster-aware clients fetch the shard
+  // map via INFO "iamdb.shardmap" and fan scans out per shard, merging
+  // client-side.  Encoded as varint32(shard + 1); absent = -1 so frames
+  // from pre-shard clients still parse.
+  int32_t shard = -1;
 };
 
 struct ScanResponse {
@@ -144,6 +150,14 @@ bool DecodeMultiGetResponse(Slice payload,
 // --- DbStats serialization (INFO opcode) ----------------------------------
 // Tag-prefixed so fields can be added without breaking old clients; unknown
 // tags are skipped by length.
+//
+// kMaxDbStatsTag is the highest tag the codec emits (static_assert'd
+// against the private StatsTag enum in wire_protocol.cc).  Bump it when
+// adding a field, and extend tests/db_stats_test.cc — that test walks
+// every tag in [1, kMaxDbStatsTag] and fails on any it does not cover, so
+// a new field cannot silently skip the codec, the aggregation operator, or
+// the tests.
+constexpr uint32_t kMaxDbStatsTag = 28;
 void EncodeDbStats(const DbStats& stats, std::string* dst);
 bool DecodeDbStats(Slice payload, DbStats* stats);
 

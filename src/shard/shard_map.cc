@@ -1,0 +1,87 @@
+#include "shard/shard_map.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "env/env.h"
+#include "util/crc32c.h"
+
+namespace iamdb {
+
+std::string ShardMapFileName(const std::string& dbname) {
+  return dbname + "/SHARDMAP";
+}
+
+std::string ShardDirName(const std::string& dbname, uint32_t shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%04u", shard);
+  return dbname + "/" + buf;
+}
+
+std::string FormatShardMap(const ShardMap& map) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "v=%u shards=%u hash=%s", map.version,
+                map.num_shards, map.hash.c_str());
+  return buf;
+}
+
+bool ParseShardMap(const Slice& text, ShardMap* map) {
+  char hash[32];
+  unsigned version = 0, shards = 0;
+  if (std::sscanf(text.ToString().c_str(), "v=%u shards=%u hash=%31s",
+                  &version, &shards, hash) != 3) {
+    return false;
+  }
+  if (version == 0 || shards == 0) return false;
+  map->version = version;
+  map->num_shards = shards;
+  map->hash = hash;
+  return true;
+}
+
+Status WriteShardMapFile(Env* env, const std::string& dbname,
+                         const ShardMap& map) {
+  std::string body = "iamdb-shardmap " + FormatShardMap(map) + "\n";
+  char crc_line[24];
+  std::snprintf(crc_line, sizeof(crc_line), "crc=%08x\n",
+                crc32c::Value(body.data(), body.size()));
+  body += crc_line;
+
+  const std::string tmp = ShardMapFileName(dbname) + ".tmp";
+  Status s = WriteStringToFile(env, body, tmp, /*sync=*/true);
+  if (!s.ok()) return s;
+  return env->RenameFile(tmp, ShardMapFileName(dbname));
+}
+
+Status ReadShardMapFile(Env* env, const std::string& dbname, ShardMap* map) {
+  std::string contents;
+  Status s = ReadFileToString(env, ShardMapFileName(dbname), &contents);
+  if (!s.ok()) return s;
+
+  const size_t crc_at = contents.rfind("crc=");
+  if (crc_at == std::string::npos || contents.size() - crc_at < 13) {
+    return Status::Corruption("SHARDMAP missing checksum");
+  }
+  unsigned expected = 0;
+  if (std::sscanf(contents.c_str() + crc_at, "crc=%x", &expected) != 1 ||
+      crc32c::Value(contents.data(), crc_at) != expected) {
+    return Status::Corruption("SHARDMAP checksum mismatch");
+  }
+
+  const std::string magic = "iamdb-shardmap ";
+  if (contents.compare(0, magic.size(), magic) != 0) {
+    return Status::Corruption("SHARDMAP bad magic");
+  }
+  const size_t line_end = contents.find('\n');
+  if (!ParseShardMap(Slice(contents.data() + magic.size(),
+                           line_end - magic.size()),
+                     map)) {
+    return Status::Corruption("SHARDMAP unparseable");
+  }
+  if (map->hash != "splitmix64") {
+    return Status::NotSupported("unknown shard hash scheme", map->hash);
+  }
+  return Status::OK();
+}
+
+}  // namespace iamdb

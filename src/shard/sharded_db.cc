@@ -1,0 +1,413 @@
+#include "shard/sharded_db.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "env/env.h"
+#include "memtable/write_batch.h"
+
+namespace iamdb {
+
+namespace {
+
+// K-way merge over per-shard user-key iterators.  Shards partition the
+// keyspace, so no two children can ever stand on the same key — the merge
+// is a pure interleave with no tie-breaking or version resolution (that
+// already happened inside each shard's DBIter).  Bidirectional with the
+// usual direction-switch resync: when reversing, every non-current child
+// is repositioned relative to the current key before stepping.
+class ShardMergingIterator final : public Iterator {
+ public:
+  explicit ShardMergingIterator(std::vector<std::unique_ptr<Iterator>> kids)
+      : children_(std::move(kids)) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    direction_ = kForward;
+    FindSmallest();
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) child->SeekToLast();
+    direction_ = kReverse;
+    FindLargest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    direction_ = kForward;
+    FindSmallest();
+  }
+
+  void Next() override {
+    assert(Valid());
+    if (direction_ != kForward) {
+      // Children other than current_ sit at the entry *before* key() (or
+      // are exhausted on its left); put them at the first entry after it.
+      // Keys are disjoint across shards, so Seek(key()) alone would land
+      // a child exactly on key() only if it IS current_ — every other
+      // child lands strictly past it, no extra advance needed.
+      const std::string saved = key().ToString();
+      for (auto& child : children_) {
+        if (child.get() == current_) continue;
+        child->Seek(saved);
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    if (direction_ != kReverse) {
+      // Children other than current_ sit at the first entry >= key() (or
+      // are exhausted on its right); put them at the last entry before it.
+      const std::string saved = key().ToString();
+      for (auto& child : children_) {
+        if (child.get() == current_) continue;
+        child->Seek(saved);
+        if (child->Valid()) {
+          // Landed at the first entry >= saved (never == saved: shards
+          // are disjoint); step back to the last entry < saved.
+          child->Prev();
+        } else {
+          // Every entry in this child is < saved: its last one qualifies.
+          child->SeekToLast();
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return current_->key();
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    current_ = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (current_ == nullptr || child->key().compare(current_->key()) < 0) {
+        current_ = child.get();
+      }
+    }
+  }
+
+  void FindLargest() {
+    current_ = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (current_ == nullptr || child->key().compare(current_->key()) > 0) {
+        current_ = child.get();
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_ = nullptr;
+  Direction direction_ = kForward;
+};
+
+// Routes each record of a batch into its owning shard's sub-batch,
+// preserving the batch's internal order within every shard.
+struct ShardSplitter final : public WriteBatch::Handler {
+  uint32_t num_shards = 1;
+  std::vector<WriteBatch>* batches = nullptr;
+
+  void Put(const Slice& key, const Slice& value) override {
+    (*batches)[ShardOf(key, num_shards)].Put(key, value);
+  }
+  void Delete(const Slice& key) override {
+    (*batches)[ShardOf(key, num_shards)].Delete(key);
+  }
+};
+
+}  // namespace
+
+Status ShardedDB::Open(const Options& options, const std::string& name,
+                       int num_shards, std::unique_ptr<DB>* dbptr) {
+  dbptr->reset();
+  if (options.env == nullptr) {
+    return Status::InvalidArgument("Options::env is required");
+  }
+  if (num_shards < 0 || num_shards > 1024) {
+    return Status::InvalidArgument("num_shards must be in [0, 1024]");
+  }
+  Env* env = options.env;
+  env->CreateDir(name);
+
+  ShardMap map;
+  Status s = ReadShardMapFile(env, name, &map);
+  if (s.ok()) {
+    if (num_shards > 0 && static_cast<uint32_t>(num_shards) !=
+                              map.num_shards) {
+      return Status::InvalidArgument(
+          "shard count mismatch: SHARDMAP has " +
+          std::to_string(map.num_shards) + ", requested " +
+          std::to_string(num_shards));
+    }
+  } else if (s.IsCorruption() || s.IsNotSupported()) {
+    return s;  // never guess over a torn or foreign manifest
+  } else {
+    // No manifest: this is a fresh sharded database.
+    if (num_shards == 0) {
+      return Status::InvalidArgument(name, "has no SHARDMAP manifest");
+    }
+    if (!options.create_if_missing) {
+      return Status::InvalidArgument(name, "does not exist");
+    }
+    map.num_shards = static_cast<uint32_t>(num_shards);
+    s = WriteShardMapFile(env, name, map);
+    if (!s.ok()) return s;
+  }
+
+  // Split the shared memory / thread budgets across the shards.
+  Options shard_options = options;
+  shard_options.block_cache_capacity = std::max<uint64_t>(
+      options.block_cache_capacity / map.num_shards, 1ull << 20);
+  shard_options.background_threads = std::max(
+      1, options.background_threads / static_cast<int>(map.num_shards));
+
+  std::vector<std::unique_ptr<DB>> shards;
+  shards.reserve(map.num_shards);
+  for (uint32_t i = 0; i < map.num_shards; i++) {
+    std::unique_ptr<DB> shard;
+    s = DB::Open(shard_options, ShardDirName(name, i), &shard);
+    if (!s.ok()) return s;
+    shards.push_back(std::move(shard));
+  }
+
+  dbptr->reset(new ShardedDB(map, std::move(shards)));
+  return Status::OK();
+}
+
+Status ShardedDB::Destroy(const Options& options, const std::string& name) {
+  Env* env = options.env;
+  ShardMap map;
+  Status s = ReadShardMapFile(env, name, &map);
+  if (!s.ok()) return Status::OK();  // nothing recognizable to destroy
+  for (uint32_t i = 0; i < map.num_shards; i++) {
+    Status d = DestroyDB(ShardDirName(name, i), options);
+    if (!d.ok()) return d;
+  }
+  env->RemoveFile(ShardMapFileName(name));
+  env->RemoveDir(name);
+  return Status::OK();
+}
+
+ShardedDB::ShardedDB(const ShardMap& map,
+                     std::vector<std::unique_ptr<DB>> shards)
+    : map_(map), shards_(std::move(shards)) {}
+
+ShardedDB::~ShardedDB() = default;
+
+ReadOptions ShardedDB::RouteRead(const ReadOptions& options,
+                                 uint32_t shard) const {
+  ReadOptions ro = options;
+  if (options.snapshot != nullptr) {
+    ro.snapshot = static_cast<const ShardedSnapshot*>(options.snapshot)
+                      ->shards()[shard];
+  }
+  return ro;
+}
+
+Status ShardedDB::Put(const WriteOptions& options, const Slice& key,
+                      const Slice& value) {
+  return shards_[ShardOf(key, map_.num_shards)]->Put(options, key, value);
+}
+
+Status ShardedDB::Delete(const WriteOptions& options, const Slice& key) {
+  return shards_[ShardOf(key, map_.num_shards)]->Delete(options, key);
+}
+
+Status ShardedDB::Write(const WriteOptions& options, WriteBatch* updates) {
+  if (shards_.size() == 1) return shards_[0]->Write(options, updates);
+
+  std::vector<WriteBatch> batches(shards_.size());
+  ShardSplitter splitter;
+  splitter.num_shards = map_.num_shards;
+  splitter.batches = &batches;
+  Status s = updates->Iterate(&splitter);
+  if (!s.ok()) return s;
+
+  // Shard order, first error wins.  Atomicity is per shard: on error (or
+  // a crash) a prefix of the shards may have applied — each shard is
+  // individually atomic and prefix-consistent, the cross-shard batch is
+  // not (docs/SHARDING.md).
+  for (size_t i = 0; i < shards_.size(); i++) {
+    if (batches[i].Count() == 0) continue;
+    s = shards_[i]->Write(options, &batches[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ShardedDB::Get(const ReadOptions& options, const Slice& key,
+                      std::string* value) {
+  const uint32_t shard = ShardOf(key, map_.num_shards);
+  return shards_[shard]->Get(RouteRead(options, shard), key, value);
+}
+
+Iterator* ShardedDB::NewIterator(const ReadOptions& options) {
+  // Pin one snapshot per shard for the merge so the view is per-shard
+  // consistent even while writers land on other shards mid-scan.
+  const Snapshot* own_snapshot =
+      options.snapshot == nullptr ? GetSnapshot() : nullptr;
+  ReadOptions ro = options;
+  if (own_snapshot != nullptr) ro.snapshot = own_snapshot;
+
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.reserve(shards_.size());
+  for (uint32_t i = 0; i < shards_.size(); i++) {
+    children.emplace_back(shards_[i]->NewIterator(RouteRead(ro, i)));
+  }
+  Iterator* merged = new ShardMergingIterator(std::move(children));
+  if (own_snapshot != nullptr) {
+    merged->RegisterCleanup(
+        [this, own_snapshot] { ReleaseSnapshot(own_snapshot); });
+  }
+  return merged;
+}
+
+Iterator* ShardedDB::NewShardIterator(const ReadOptions& options, int shard) {
+  if (shard < 0 || shard >= NumShards()) {
+    return NewErrorIterator(Status::InvalidArgument("shard out of range"));
+  }
+  return shards_[shard]->NewIterator(
+      RouteRead(options, static_cast<uint32_t>(shard)));
+}
+
+const Snapshot* ShardedDB::GetSnapshot() {
+  auto* snapshot = new ShardedSnapshot();
+  snapshot->shards_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    snapshot->shards_.push_back(shard->GetSnapshot());
+  }
+  return snapshot;
+}
+
+void ShardedDB::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) return;
+  auto* sharded = static_cast<const ShardedSnapshot*>(snapshot);
+  for (size_t i = 0; i < shards_.size(); i++) {
+    shards_[i]->ReleaseSnapshot(sharded->shards()[i]);
+  }
+  delete sharded;
+}
+
+Status ShardedDB::WaitForQuiescence() {
+  for (auto& shard : shards_) {
+    Status s = shard->WaitForQuiescence();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status ShardedDB::FlushAll() {
+  for (auto& shard : shards_) {
+    Status s = shard->FlushAll();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+DbStats ShardedDB::GetStats() {
+  DbStats total;
+  for (auto& shard : shards_) total += shard->GetStats();
+  return total;
+}
+
+const AmpStats& ShardedDB::amp_stats() const {
+  agg_amp_stats_.Reset();
+  for (const auto& shard : shards_) agg_amp_stats_.Add(shard->amp_stats());
+  return agg_amp_stats_;
+}
+
+Status ShardedDB::CheckInvariants(bool quiescent) {
+  for (size_t i = 0; i < shards_.size(); i++) {
+    Status s = shards_[i]->CheckInvariants(quiescent);
+    if (!s.ok()) {
+      return Status::Corruption("shard " + std::to_string(i),
+                                s.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  if (property == Slice("iamdb.shardmap")) {
+    *value = FormatShardMap(map_);
+    return true;
+  }
+  if (property == Slice("iamdb.shard-stats")) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "shards=%u hash=%s\n", map_.num_shards,
+                  map_.hash.c_str());
+    value->append(buf);
+    for (size_t i = 0; i < shards_.size(); i++) {
+      DbStats s = shards_[i]->GetStats();
+      std::snprintf(
+          buf, sizeof(buf),
+          "[shard %zu] user=%llu space=%llu wamp=%.2f cache=%llu/%llu "
+          "debt=%llu stall_us=%llu\n",
+          i, static_cast<unsigned long long>(s.user_bytes),
+          static_cast<unsigned long long>(s.space_used_bytes),
+          s.total_write_amp,
+          static_cast<unsigned long long>(s.cache_hits),
+          static_cast<unsigned long long>(s.cache_hits + s.cache_misses),
+          static_cast<unsigned long long>(s.pending_debt_bytes),
+          static_cast<unsigned long long>(s.stall_micros));
+      value->append(buf);
+    }
+    return true;
+  }
+  if (property == Slice("iamdb.approximate-memory-usage")) {
+    // Numeric property: sum instead of concatenating.
+    uint64_t total = 0;
+    for (auto& shard : shards_) {
+      std::string v;
+      if (!shard->GetProperty(property, &v)) return false;
+      total += std::strtoull(v.c_str(), nullptr, 10);
+    }
+    *value = std::to_string(total);
+    return true;
+  }
+  // Text properties: concatenate per-shard sections.
+  for (size_t i = 0; i < shards_.size(); i++) {
+    std::string v;
+    if (!shards_[i]->GetProperty(property, &v)) {
+      value->clear();
+      return false;
+    }
+    value->append("[shard " + std::to_string(i) + "]\n");
+    value->append(v);
+  }
+  return true;
+}
+
+}  // namespace iamdb

@@ -64,6 +64,18 @@ std::string AmpStats::ToString() const {
   return out;
 }
 
+void AmpStats::Add(const AmpStats& other) {
+  user_bytes_.fetch_add(other.user_bytes(), std::memory_order_relaxed);
+  for (int l = 0; l < kMaxLevels; l++) {
+    level_bytes_[l].fetch_add(other.level_bytes(l),
+                              std::memory_order_relaxed);
+  }
+  for (int r = 0; r < static_cast<int>(WriteReason::kNumReasons); r++) {
+    reason_bytes_[r].fetch_add(other.reason_bytes(static_cast<WriteReason>(r)),
+                               std::memory_order_relaxed);
+  }
+}
+
 void AmpStats::Reset() {
   user_bytes_.store(0, std::memory_order_relaxed);
   for (auto& b : level_bytes_) b.store(0, std::memory_order_relaxed);

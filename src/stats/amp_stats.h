@@ -71,6 +71,11 @@ class AmpStats {
   std::string ToString() const;
   void Reset();
 
+  // Accumulates another instance's counters into this one (ShardedDB
+  // presents the sum of its shards).  Relaxed snapshot of `other`:
+  // individually consistent counters, like every other reader here.
+  void Add(const AmpStats& other);
+
  private:
   std::atomic<uint64_t> user_bytes_{0};
   std::array<std::atomic<uint64_t>, kMaxLevels> level_bytes_{};

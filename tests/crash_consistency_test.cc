@@ -24,6 +24,9 @@
 #include "core/db.h"
 #include "env/fault_injection_env.h"
 #include "env/mem_env.h"
+#include "shard/shard_map.h"
+#include "shard/sharded_db.h"
+#include "table/iterator.h"
 #include "test_seed.h"
 #include "util/random.h"
 #include "util/sync_point.h"
@@ -466,6 +469,152 @@ TEST_P(EngineCrashTest, CrashAtSeededOpIndex) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, EngineCrashTest, testing::Values(0, 1, 2),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return kEngines[info.param].name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Sharded crash consistency.  ShardedDB's durability contract is per shard:
+// each shard recovers to a consistent prefix of ITS projection of the
+// global op history (a cross-shard batch may survive on some shards and
+// not others — documented in docs/SHARDING.md).  A sync ack fsyncs only
+// the WALs of the shards that op touched, so the acked-coverage floor is
+// per shard: the latest acked sync op that wrote to shard S pins all of
+// S's earlier writes, while shards the sync never touched promise
+// nothing.  Sync-point-free like EngineCrashTest so the coverage survives
+// plain Release builds.
+
+constexpr int kCrashShards = 3;
+
+void VerifyShardedRecovered(const Options& options,
+                            const std::vector<Op>& history,
+                            int last_acked_sync) {
+  std::unique_ptr<DB> db;
+  Status s = ShardedDB::Open(options, "/db", 0, &db);
+  ASSERT_TRUE(s.ok()) << "sharded recovery failed: " << s.ToString();
+  ASSERT_EQ(db->NumShards(), kCrashShards);
+
+  // A sync ack only fsyncs the WALs of the shards the op wrote to, so each
+  // shard's guaranteed prefix ends at the latest acked sync op touching it.
+  int acked_floor[kCrashShards];
+  for (int shard = 0; shard < kCrashShards; shard++) acked_floor[shard] = -1;
+  for (int j = 0; j <= last_acked_sync; j++) {
+    if (!history[j].sync) continue;
+    for (const auto& [key, value] : history[j].writes) {
+      acked_floor[ShardOf(key, kCrashShards)] = j;
+    }
+  }
+
+  Model union_of_shards;
+  for (int shard = 0; shard < kCrashShards; shard++) {
+    SCOPED_TRACE("shard " + std::to_string(shard));
+    Model dump;
+    std::unique_ptr<Iterator> iter(
+        db->NewShardIterator(ReadOptions(), shard));
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      ASSERT_EQ(ShardOf(iter->key(), kCrashShards),
+                static_cast<uint32_t>(shard));
+      dump[iter->key().ToString()] = iter->value().ToString();
+      union_of_shards[iter->key().ToString()] = iter->value().ToString();
+    }
+    ASSERT_TRUE(iter->status().ok()) << iter->status().ToString();
+
+    // Replay this shard's projection of the history; the recovered shard
+    // state must equal some prefix of it, covering every acked op.
+    Model model;
+    int matched = dump.empty() ? 0 : -1;
+    for (size_t j = 0; j < history.size(); j++) {
+      for (const auto& [key, value] : history[j].writes) {
+        if (ShardOf(key, kCrashShards) != static_cast<uint32_t>(shard)) {
+          continue;
+        }
+        if (value.has_value()) {
+          model[key] = *value;
+        } else {
+          model.erase(key);
+        }
+      }
+      if (dump == model) matched = static_cast<int>(j) + 1;
+    }
+    ASSERT_GE(matched, 0)
+        << "shard state is not a prefix of its projected history ("
+        << dump.size() << " keys recovered)";
+    ASSERT_GE(matched, acked_floor[shard] + 1)
+        << "sync-acknowledged op " << acked_floor[shard]
+        << " lost on this shard: covers only the first " << matched
+        << " ops";
+  }
+
+  // The merged view is exactly the union of the shard views (shards
+  // partition the keyspace, so the union has no conflicts to resolve).
+  Model merged;
+  std::unique_ptr<Iterator> all(db->NewIterator(ReadOptions()));
+  for (all->SeekToFirst(); all->Valid(); all->Next()) {
+    merged[all->key().ToString()] = all->value().ToString();
+  }
+  ASSERT_TRUE(all->status().ok());
+  ASSERT_EQ(merged, union_of_shards);
+
+  // Usable after recovery: cross-shard batches land, invariants hold.
+  Random64 rnd(42);
+  Model post = merged;
+  for (int i = 0; i < 30; i++) {
+    Op op = MakeOp(&rnd, 200000 + i);
+    WriteBatch batch;
+    for (const auto& [key, value] : op.writes) {
+      if (value.has_value()) {
+        batch.Put(key, *value);
+      } else {
+        batch.Delete(key);
+      }
+    }
+    ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+    ApplyOp(op, &post);
+  }
+  ASSERT_TRUE(db->FlushAll().ok());
+  ASSERT_TRUE(db->CheckInvariants(true).ok());
+  Model final_dump;
+  std::unique_ptr<Iterator> final_iter(db->NewIterator(ReadOptions()));
+  for (final_iter->SeekToFirst(); final_iter->Valid(); final_iter->Next()) {
+    final_dump[final_iter->key().ToString()] = final_iter->value().ToString();
+  }
+  ASSERT_TRUE(final_iter->status().ok());
+  ASSERT_EQ(post, final_dump);
+}
+
+class ShardedCrashTest : public testing::TestWithParam<int> {};
+
+TEST_P(ShardedCrashTest, PerShardPrefixRecovery) {
+  const EngineConfig& cfg = kEngines[GetParam()];
+  uint64_t override_seed = 0;
+  const bool overridden = test::SeedOverridden(&override_seed);
+  for (uint64_t seed = 0; seed < (overridden ? 1 : kSeedsPerPoint); seed++) {
+    const uint64_t effective = overridden ? override_seed : seed;
+    SCOPED_TRACE(test::SeedTrace(effective));
+    MemEnv mem;
+    FaultInjectionEnv fault(&mem);
+    Options options = MakeOptions(cfg, &fault);
+
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(ShardedDB::Open(options, "/db", kCrashShards, &db).ok());
+    fault.MarkDirSynced();
+
+    Random64 rnd(effective * 131 + 9);
+    std::vector<Op> history;
+    int last_acked_sync = -1;
+    DriveOps(db.get(), &rnd, 20 + rnd.Next() % 100, &history,
+             &last_acked_sync);
+    fault.SetFilesystemActive(false);  // crash between two ops
+    DriveOps(db.get(), &rnd, 10, &history, &last_acked_sync);
+    db.reset();
+
+    SimulateDiskAfterCrash(&fault, effective);
+    VerifyShardedRecovered(options, history, last_acked_sync);
+    if (HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ShardedCrashTest, testing::Values(0, 1, 2),
                          [](const testing::TestParamInfo<int>& info) {
                            return kEngines[info.param].name;
                          });

@@ -1,0 +1,315 @@
+// DbStats aggregation (operator+=) and wire-codec completeness.
+//
+// The guard rail here is tag-driven: both tests below walk every wire tag
+// in [1, wire::kMaxDbStatsTag] through a switch with ADD_FAILURE in the
+// default branch.  Adding a DbStats field therefore cannot compile-and-pass
+// silently — the new tag trips the default until the codec, the
+// aggregation operator, and these tests all handle it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/db.h"
+#include "server/wire_protocol.h"
+#include "util/coding.h"
+
+namespace iamdb {
+namespace {
+
+// Every field nonzero and distinct, so a dropped field shows up as a
+// mismatch instead of a lucky 0 == 0.
+DbStats MakeStats(uint64_t base) {
+  DbStats s;
+  s.total_write_amp = 2.0 + base;
+  s.level_write_amp = {1.5 + base, 2.5 + base};
+  s.level_bytes = {1000 + base, 2000 + base};
+  s.level_node_counts = {static_cast<int>(3 + base),
+                         static_cast<int>(5 + base)};
+  s.user_bytes = 10000 + base;
+  s.space_used_bytes = 20000 + base;
+  s.cache_usage = 300 + base;
+  s.cache_hits = 40 + base;
+  s.cache_misses = 50 + base;
+  s.mixed_level = static_cast<int>(2 + base % 3);
+  s.mixed_level_k = static_cast<int>(1 + base % 4);
+  s.pending_debt_bytes = 600 + base;
+  s.stall_micros = 700 + base;
+  s.io.bytes_written = 800 + base;
+  s.io.bytes_read = 900 + base;
+  s.io.write_ops = 11 + base;
+  s.io.read_ops = 12 + base;
+  s.io.fsyncs = 13 + base;
+  s.flush_queue_depth = 14 + base;
+  s.compact_queue_depth = 15 + base;
+  s.subcompactions_run = 16 + base;
+  s.rate_limiter_wait_micros = 17 + base;
+  s.server_loop_iterations = 18 + base;
+  s.server_writev_calls = 19 + base;
+  s.server_responses_written = 21 + base;
+  s.server_output_buffer_hwm = 22 + base;
+  s.server_backpressure_stalls = 23 + base;
+  s.server_accept_errors = 24 + base;
+  return s;
+}
+
+// Walks the tag/len/bytes stream of an encoded DbStats.
+std::map<uint32_t, std::string> TagsOf(const std::string& encoded) {
+  std::map<uint32_t, std::string> tags;
+  Slice in(encoded);
+  while (!in.empty()) {
+    uint32_t tag = 0, len = 0;
+    EXPECT_TRUE(GetVarint32(&in, &tag));
+    EXPECT_TRUE(GetVarint32(&in, &len));
+    EXPECT_LE(len, in.size());
+    tags[tag] = std::string(in.data(), len);
+    in.remove_prefix(len);
+  }
+  return tags;
+}
+
+TEST(DbStatsCodecTest, EveryTagEmittedAndNoStrays) {
+  std::string encoded;
+  wire::EncodeDbStats(MakeStats(1), &encoded);
+  std::map<uint32_t, std::string> tags = TagsOf(encoded);
+  for (uint32_t tag = 1; tag <= wire::kMaxDbStatsTag; tag++) {
+    EXPECT_EQ(tags.count(tag), 1u) << "tag " << tag << " not emitted";
+  }
+  for (const auto& [tag, bytes] : tags) {
+    EXPECT_GE(tag, 1u);
+    EXPECT_LE(tag, wire::kMaxDbStatsTag) << "unknown tag " << tag;
+  }
+}
+
+TEST(DbStatsCodecTest, Roundtrip) {
+  DbStats in = MakeStats(7);
+  std::string encoded;
+  wire::EncodeDbStats(in, &encoded);
+  DbStats out;
+  ASSERT_TRUE(wire::DecodeDbStats(encoded, &out));
+
+  EXPECT_DOUBLE_EQ(out.total_write_amp, in.total_write_amp);
+  ASSERT_EQ(out.level_write_amp.size(), in.level_write_amp.size());
+  for (size_t i = 0; i < in.level_write_amp.size(); i++) {
+    EXPECT_DOUBLE_EQ(out.level_write_amp[i], in.level_write_amp[i]);
+  }
+  EXPECT_EQ(out.level_bytes, in.level_bytes);
+  EXPECT_EQ(out.level_node_counts, in.level_node_counts);
+  EXPECT_EQ(out.user_bytes, in.user_bytes);
+  EXPECT_EQ(out.space_used_bytes, in.space_used_bytes);
+  EXPECT_EQ(out.cache_usage, in.cache_usage);
+  EXPECT_EQ(out.cache_hits, in.cache_hits);
+  EXPECT_EQ(out.cache_misses, in.cache_misses);
+  EXPECT_EQ(out.mixed_level, in.mixed_level);
+  EXPECT_EQ(out.mixed_level_k, in.mixed_level_k);
+  EXPECT_EQ(out.pending_debt_bytes, in.pending_debt_bytes);
+  EXPECT_EQ(out.stall_micros, in.stall_micros);
+  EXPECT_EQ(out.io.bytes_written, in.io.bytes_written);
+  EXPECT_EQ(out.io.bytes_read, in.io.bytes_read);
+  EXPECT_EQ(out.io.write_ops, in.io.write_ops);
+  EXPECT_EQ(out.io.read_ops, in.io.read_ops);
+  EXPECT_EQ(out.io.fsyncs, in.io.fsyncs);
+  EXPECT_EQ(out.flush_queue_depth, in.flush_queue_depth);
+  EXPECT_EQ(out.compact_queue_depth, in.compact_queue_depth);
+  EXPECT_EQ(out.subcompactions_run, in.subcompactions_run);
+  EXPECT_EQ(out.rate_limiter_wait_micros, in.rate_limiter_wait_micros);
+  EXPECT_EQ(out.server_loop_iterations, in.server_loop_iterations);
+  EXPECT_EQ(out.server_writev_calls, in.server_writev_calls);
+  EXPECT_EQ(out.server_responses_written, in.server_responses_written);
+  EXPECT_EQ(out.server_output_buffer_hwm, in.server_output_buffer_hwm);
+  EXPECT_EQ(out.server_backpressure_stalls, in.server_backpressure_stalls);
+  EXPECT_EQ(out.server_accept_errors, in.server_accept_errors);
+}
+
+// Expected combination of two amp ratios, weighted by user bytes.
+double WeightedAmp(double a_amp, uint64_t a_user, double b_amp,
+                   uint64_t b_user) {
+  return (a_amp * static_cast<double>(a_user) +
+          b_amp * static_cast<double>(b_user)) /
+         static_cast<double>(a_user + b_user);
+}
+
+TEST(DbStatsAggregationTest, EveryTagHasAggregationSemantics) {
+  // Different vector lengths on purpose: the pad-and-add path must not
+  // drop rhs's extra levels.
+  DbStats a = MakeStats(1);
+  DbStats b = MakeStats(100);
+  b.level_bytes.push_back(4242);
+  b.level_node_counts.push_back(17);
+  b.level_write_amp.push_back(3.25);
+
+  DbStats sum = a;
+  sum += b;
+
+  for (uint32_t tag = 1; tag <= wire::kMaxDbStatsTag; tag++) {
+    SCOPED_TRACE("tag " + std::to_string(tag));
+    switch (tag) {
+      case 1:  // user_bytes
+        EXPECT_EQ(sum.user_bytes, a.user_bytes + b.user_bytes);
+        break;
+      case 2:
+        EXPECT_EQ(sum.space_used_bytes,
+                  a.space_used_bytes + b.space_used_bytes);
+        break;
+      case 3:
+        EXPECT_EQ(sum.cache_usage, a.cache_usage + b.cache_usage);
+        break;
+      case 4:
+        EXPECT_EQ(sum.cache_hits, a.cache_hits + b.cache_hits);
+        break;
+      case 5:
+        EXPECT_EQ(sum.cache_misses, a.cache_misses + b.cache_misses);
+        break;
+      case 6:
+        EXPECT_EQ(sum.stall_micros, a.stall_micros + b.stall_micros);
+        break;
+      case 7:
+        EXPECT_EQ(sum.pending_debt_bytes,
+                  a.pending_debt_bytes + b.pending_debt_bytes);
+        break;
+      case 8:  // structural: max, not sum
+        EXPECT_EQ(sum.mixed_level, std::max(a.mixed_level, b.mixed_level));
+        break;
+      case 9:
+        EXPECT_EQ(sum.mixed_level_k,
+                  std::max(a.mixed_level_k, b.mixed_level_k));
+        break;
+      case 10:  // ratio: weighted by user_bytes
+        EXPECT_NEAR(sum.total_write_amp,
+                    WeightedAmp(a.total_write_amp, a.user_bytes,
+                                b.total_write_amp, b.user_bytes),
+                    1e-9);
+        break;
+      case 11: {
+        ASSERT_EQ(sum.level_bytes.size(), b.level_bytes.size());
+        for (size_t i = 0; i < sum.level_bytes.size(); i++) {
+          uint64_t lhs = i < a.level_bytes.size() ? a.level_bytes[i] : 0;
+          EXPECT_EQ(sum.level_bytes[i], lhs + b.level_bytes[i]);
+        }
+        break;
+      }
+      case 12: {
+        ASSERT_EQ(sum.level_node_counts.size(), b.level_node_counts.size());
+        for (size_t i = 0; i < sum.level_node_counts.size(); i++) {
+          int lhs = i < a.level_node_counts.size() ? a.level_node_counts[i]
+                                                   : 0;
+          EXPECT_EQ(sum.level_node_counts[i], lhs + b.level_node_counts[i]);
+        }
+        break;
+      }
+      case 13: {
+        ASSERT_EQ(sum.level_write_amp.size(), b.level_write_amp.size());
+        for (size_t i = 0; i < sum.level_write_amp.size(); i++) {
+          double lhs = i < a.level_write_amp.size() ? a.level_write_amp[i]
+                                                    : 0.0;
+          EXPECT_NEAR(sum.level_write_amp[i],
+                      WeightedAmp(lhs, a.user_bytes, b.level_write_amp[i],
+                                  b.user_bytes),
+                      1e-9);
+        }
+        break;
+      }
+      case 14:
+        EXPECT_EQ(sum.io.bytes_written,
+                  a.io.bytes_written + b.io.bytes_written);
+        break;
+      case 15:
+        EXPECT_EQ(sum.io.bytes_read, a.io.bytes_read + b.io.bytes_read);
+        break;
+      case 16:
+        EXPECT_EQ(sum.io.write_ops, a.io.write_ops + b.io.write_ops);
+        break;
+      case 17:
+        EXPECT_EQ(sum.io.read_ops, a.io.read_ops + b.io.read_ops);
+        break;
+      case 18:
+        EXPECT_EQ(sum.io.fsyncs, a.io.fsyncs + b.io.fsyncs);
+        break;
+      case 19:
+        EXPECT_EQ(sum.flush_queue_depth,
+                  a.flush_queue_depth + b.flush_queue_depth);
+        break;
+      case 20:
+        EXPECT_EQ(sum.compact_queue_depth,
+                  a.compact_queue_depth + b.compact_queue_depth);
+        break;
+      case 21:
+        EXPECT_EQ(sum.subcompactions_run,
+                  a.subcompactions_run + b.subcompactions_run);
+        break;
+      case 22:
+        EXPECT_EQ(sum.rate_limiter_wait_micros,
+                  a.rate_limiter_wait_micros + b.rate_limiter_wait_micros);
+        break;
+      case 23:
+        EXPECT_EQ(sum.server_loop_iterations,
+                  a.server_loop_iterations + b.server_loop_iterations);
+        break;
+      case 24:
+        EXPECT_EQ(sum.server_writev_calls,
+                  a.server_writev_calls + b.server_writev_calls);
+        break;
+      case 25:
+        EXPECT_EQ(sum.server_responses_written,
+                  a.server_responses_written + b.server_responses_written);
+        break;
+      case 26:  // high-water mark: max
+        EXPECT_EQ(sum.server_output_buffer_hwm,
+                  std::max(a.server_output_buffer_hwm,
+                           b.server_output_buffer_hwm));
+        break;
+      case 27:
+        EXPECT_EQ(sum.server_backpressure_stalls,
+                  a.server_backpressure_stalls + b.server_backpressure_stalls);
+        break;
+      case 28:
+        EXPECT_EQ(sum.server_accept_errors,
+                  a.server_accept_errors + b.server_accept_errors);
+        break;
+      default:
+        ADD_FAILURE() << "tag " << tag
+                      << " has no aggregation coverage — a DbStats field "
+                         "was added without extending this test and "
+                         "operator+=";
+    }
+  }
+}
+
+TEST(DbStatsAggregationTest, WeightedAmpMatchesGroundTruth) {
+  // Two instances with known written/user byte totals: combining their
+  // ratios must equal the ratio of the combined totals.
+  DbStats a;
+  a.user_bytes = 1000;
+  a.total_write_amp = 3.0;  // 3000 bytes written
+  DbStats b;
+  b.user_bytes = 3000;
+  b.total_write_amp = 1.0;  // 3000 bytes written
+  a += b;
+  EXPECT_NEAR(a.total_write_amp, 6000.0 / 4000.0, 1e-9);
+}
+
+TEST(DbStatsAggregationTest, SelfAddDoublesCountersKeepsRatios) {
+  DbStats s = MakeStats(9);
+  const DbStats orig = s;
+  s += s;
+  EXPECT_EQ(s.user_bytes, 2 * orig.user_bytes);
+  EXPECT_EQ(s.io.fsyncs, 2 * orig.io.fsyncs);
+  EXPECT_EQ(s.mixed_level, orig.mixed_level);
+  // Same traffic twice has the same amp.
+  EXPECT_NEAR(s.total_write_amp, orig.total_write_amp, 1e-9);
+}
+
+TEST(DbStatsAggregationTest, AddToZeroIsIdentity) {
+  DbStats zero;
+  DbStats s = MakeStats(4);
+  zero += s;
+  EXPECT_EQ(zero.user_bytes, s.user_bytes);
+  EXPECT_NEAR(zero.total_write_amp, s.total_write_amp, 1e-9);
+  EXPECT_EQ(zero.level_bytes, s.level_bytes);
+  EXPECT_EQ(zero.server_output_buffer_hwm, s.server_output_buffer_hwm);
+}
+
+}  // namespace
+}  // namespace iamdb

@@ -1068,5 +1068,124 @@ TEST(ServerFaultTest, WalSyncFailureSurfacesAsErrorFrame) {
   server.Stop();
 }
 
+// A connection that dies with requests pipelined must fail every pending
+// Wait* promptly and distinctly — not hang on a dead socket, and not claim
+// the ids were never submitted.  The "server" here is a raw socket the
+// test controls exactly: it answers the first request, then resets.
+TEST(ClientPipelineFailureTest, BrokenConnectionFailsOutstandingWaits) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+
+  // A PING frame is header (8) + id (8) + opcode (1) = 17 bytes; the fake
+  // server waits for all three submits before acting so the test is not
+  // racing the client's sends.
+  constexpr size_t kThreePings = 3 * 17;
+  std::thread fake_server([listen_fd] {
+    int conn = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    size_t got = 0;
+    char buf[256];
+    while (got < kThreePings) {
+      ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      got += static_cast<size_t>(n);
+    }
+    // Answer the first request (id 1) only, then drop the connection.
+    std::string status_payload, frame;
+    wire::EncodeStatus(Status::OK(), &status_payload);
+    wire::BuildFrame(1, wire::Opcode::kPing, status_payload, &frame);
+    ::send(conn, frame.data(), frame.size(), MSG_NOSIGNAL);
+    ::close(conn);
+  });
+
+  ClientOptions options;
+  options.port = ntohs(addr.sin_port);
+  options.connect_retries = 0;
+  options.op_timeout_ms = 5000;  // a hang fails the test via this timeout
+  Client client(options);
+  ASSERT_TRUE(client.Connect().ok());
+
+  const uint64_t id1 = client.SubmitPing();
+  const uint64_t id2 = client.SubmitPing();
+  const uint64_t id3 = client.SubmitPing();
+  ASSERT_EQ(id1, 1u);
+  ASSERT_NE(id2, 0u);
+  ASSERT_NE(id3, 0u);
+
+  // Waiting on id2 first: the client buffers id1's response, then hits the
+  // peer close and reports the transport error against id2 itself.
+  Status s2 = client.Wait(id2);
+  EXPECT_TRUE(s2.IsIOError()) << s2.ToString();
+  EXPECT_FALSE(client.connected());
+
+  // id1's response arrived before the reset and stays claimable.
+  EXPECT_TRUE(client.Wait(id1).ok());
+
+  // id3 was in flight when the connection died: the distinct
+  // connection-lost error, exactly once.
+  Status s3 = client.Wait(id3);
+  EXPECT_TRUE(s3.IsIOError()) << s3.ToString();
+  EXPECT_NE(s3.ToString().find("connection lost with request in flight"),
+            std::string::npos)
+      << s3.ToString();
+  Status again = client.Wait(id3);
+  EXPECT_NE(again.ToString().find("not in flight"), std::string::npos)
+      << again.ToString();
+
+  fake_server.join();
+  ::close(listen_fd);
+}
+
+// Same failure, driven through a real server killed mid-pipeline: pending
+// waits must all resolve with IOErrors, and a fresh connect afterwards
+// must find the durable data intact.
+TEST(ClientPipelineFailureTest, ServerStopMidPipeline) {
+  auto owned = StartOwnedServer(ServerOptions());
+  ClientOptions options;
+  options.port = owned.server->port();
+  options.connect_retries = 0;
+  options.op_timeout_ms = 5000;
+  Client client(options);
+  ASSERT_TRUE(client.Put("durable", "yes").ok());
+
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 16; i++) {
+    uint64_t id = client.SubmitGet("durable");
+    ASSERT_NE(id, 0u);
+    ids.push_back(id);
+  }
+  owned.server->Stop();
+
+  // Every wait resolves (OK for responses that raced out before the stop,
+  // IOError otherwise) — none may hang past the op timeout or crash.
+  int io_errors = 0;
+  for (uint64_t id : ids) {
+    std::string value;
+    Status s = client.WaitGet(id, &value);
+    if (!s.ok()) {
+      EXPECT_TRUE(s.IsIOError()) << s.ToString();
+      io_errors++;
+    } else {
+      EXPECT_EQ(value, "yes");
+    }
+  }
+  // The server drains gracefully, so responses may all have made it out;
+  // what matters is that nothing hung and errors (if any) were IOErrors.
+  SUCCEED() << io_errors << " of " << ids.size() << " waits failed";
+}
+
 }  // namespace
 }  // namespace iamdb

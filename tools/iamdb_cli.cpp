@@ -4,11 +4,17 @@
 //   iamdb_cli [--host=H] [--port=N] ping
 //   iamdb_cli put <key> <value>
 //   iamdb_cli get <key>
-//   iamdb_cli mget <key> [key...]      (batched reads, one round trip)
+//   iamdb_cli mget <key> [key...]      (shard-routed batched reads)
 //   iamdb_cli del <key>
-//   iamdb_cli scan [start [end [limit]]]
+//   iamdb_cli scan [start [end [limit]]]   (shard fan-out, merged locally)
 //   iamdb_cli info [property]          (e.g. iamdb.stats, server.stats)
 //   iamdb_cli stats                    (decoded DbStats snapshot)
+//   iamdb_cli shardmap                 (server's shard layout)
+//   iamdb_cli shard-stats              (per-shard stats breakdown)
+//
+// mget and scan are cluster-aware: against a sharded server they route
+// per shard client-side (MultiGetSharded / ScanSharded); against a plain
+// server they degrade to the single-request forms.
 //
 // With no command, drops into a REPL speaking the same verbs plus
 // `batch` (lines of put/del until `commit`, applied atomically) and
@@ -100,7 +106,7 @@ int RunCommand(Client* client, const std::vector<std::string>& args) {
     std::vector<std::string> keys(args.begin() + 1, args.end());
     std::vector<std::string> values;
     std::vector<Status> statuses;
-    s = client->MultiGet(keys, &values, &statuses);
+    s = client->MultiGetSharded(keys, &values, &statuses);
     if (s.ok()) {
       int found = 0;
       for (size_t i = 0; i < keys.size(); i++) {
@@ -124,7 +130,7 @@ int RunCommand(Client* client, const std::vector<std::string>& args) {
                          : 0;
     std::vector<wire::KeyValue> entries;
     bool truncated = false;
-    s = client->Scan(start, end, limit, &entries, &truncated);
+    s = client->ScanSharded(start, end, limit, &entries, &truncated);
     if (s.ok()) {
       for (const auto& [key, value] : entries) {
         std::printf("%s => %s\n", key.c_str(), value.c_str());
@@ -146,6 +152,26 @@ int RunCommand(Client* client, const std::vector<std::string>& args) {
     DbStats stats;
     s = client->GetStats(&stats);
     if (s.ok()) PrintStats(stats);
+  } else if (cmd == "shardmap") {
+    int num_shards = 1;
+    s = client->GetShardMap(&num_shards);
+    if (s.ok()) {
+      std::string text;
+      if (client->GetProperty("iamdb.shardmap", &text).ok()) {
+        std::printf("%s\n", text.c_str());
+      } else {
+        std::printf("unsharded (1 shard)\n");
+      }
+    }
+  } else if (cmd == "shard-stats") {
+    std::string text;
+    s = client->GetProperty("iamdb.shard-stats", &text);
+    if (s.IsNotFound()) {
+      std::printf("unsharded server: no per-shard breakdown\n");
+      s = Status::OK();
+    } else if (s.ok()) {
+      std::printf("%s", text.c_str());
+    }
   } else {
     std::fprintf(stderr, "unknown or malformed command '%s'\n", cmd.c_str());
     return 2;
@@ -171,8 +197,8 @@ int Repl(Client* client) {
       if (tokens[0] == "help") {
         std::printf(
             "commands: ping | put k v | get k | mget k [k...] | del k | "
-            "scan [start [end [limit]]] | info [prop] | stats | batch | "
-            "quit\n");
+            "scan [start [end [limit]]] | info [prop] | stats | shardmap | "
+            "shard-stats | batch | quit\n");
       } else if (tokens[0] == "batch") {
         // Collect put/del lines until `commit` (or `abort`), apply as one
         // atomic WriteBatch.

@@ -3,8 +3,12 @@
 //
 //   iamdb_server --db=/path/to/db [--port=4490] [--host=127.0.0.1]
 //                [--engine=iam|lsa|leveled] [--threads=4] [--shards=N]
-//                [--bg_threads=N] [--subcompactions=N] [--rate_limit_mb=N]
-//                [--cache_mb=64] [--sync_wal]
+//                [--db_shards=N] [--bg_threads=N] [--subcompactions=N]
+//                [--rate_limit_mb=N] [--cache_mb=64] [--sync_wal]
+//
+// --shards controls the network reactor; --db_shards partitions the
+// database itself into N independent instances (ShardedDB).  A db dir
+// that already carries a SHARDMAP manifest reopens sharded automatically.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
 // in-flight requests, flush the memtable, then exit.
@@ -21,6 +25,7 @@
 #include "core/db.h"
 #include "env/env.h"
 #include "server/server.h"
+#include "shard/sharded_db.h"
 
 namespace {
 
@@ -41,8 +46,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --db=<dir> [--port=N] [--host=ADDR] "
                "[--engine=iam|lsa|leveled] [--threads=N] [--shards=N] "
-               "[--bg_threads=N] [--subcompactions=N] [--rate_limit_mb=N] "
-               "[--cache_mb=N] [--sync_wal]\n",
+               "[--db_shards=N] [--bg_threads=N] [--subcompactions=N] "
+               "[--rate_limit_mb=N] [--cache_mb=N] [--sync_wal]\n",
                argv0);
   return 2;
 }
@@ -55,7 +60,8 @@ int main(int argc, char** argv) {
   server_options.port = 4490;
   Options db_options;
   db_options.env = Env::Default();
-  int bg_threads = 0;  // 0 = derive from the machine / worker count
+  int bg_threads = 0;   // 0 = derive from the machine / worker count
+  int db_shards = 0;    // 0 = single instance unless a SHARDMAP exists
 
   for (int i = 1; i < argc; i++) {
     std::string v;
@@ -69,6 +75,12 @@ int main(int argc, char** argv) {
       server_options.num_workers = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "shards", &v)) {
       server_options.num_shards = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "db_shards", &v)) {
+      db_shards = std::atoi(v.c_str());
+      if (db_shards <= 0) {
+        std::fprintf(stderr, "--db_shards must be positive\n");
+        return Usage(argv[0]);
+      }
     } else if (ParseFlag(argv[i], "bg_threads", &v)) {
       bg_threads = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "subcompactions", &v)) {
@@ -108,11 +120,22 @@ int main(int argc, char** argv) {
                                 std::max(1, server_options.num_workers / 2));
 
   std::unique_ptr<DB> db;
-  Status s = DB::Open(db_options, dbdir, &db);
+  Status s;
+  if (db_shards > 0) {
+    s = ShardedDB::Open(db_options, dbdir, db_shards, &db);
+  } else if (db_options.env->FileExists(ShardMapFileName(dbdir))) {
+    // Reopen an existing sharded database with its persisted shard count.
+    s = ShardedDB::Open(db_options, dbdir, 0, &db);
+  } else {
+    s = DB::Open(db_options, dbdir, &db);
+  }
   if (!s.ok()) {
     std::fprintf(stderr, "open %s failed: %s\n", dbdir.c_str(),
                  s.ToString().c_str());
     return 1;
+  }
+  if (db->NumShards() > 1) {
+    std::printf("database partitioned into %d shards\n", db->NumShards());
   }
 
   Server server(db.get(), server_options);
