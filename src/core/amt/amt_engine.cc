@@ -253,17 +253,37 @@ bool AmtEngine::PickCompactionJob(const TreeVersion& version,
     return true;
   }
 
-  // 3. Full internal nodes, deepest level first; split at >= 2t children.
+  // 3. Full internal nodes; split at >= 2t children.  Greedy mode picks
+  //    the fullest node anywhere in the tree (most debt bytes retired per
+  //    job); classic mode takes the first hit deepest level first.
+  const bool greedy = db_->options().greedy_compaction;
+  Job best;
+  uint64_t best_bytes = 0;
   for (int level = n - 2; level >= 0; level--) {
     for (const auto& node : version.level(level)) {
       if (node->data_bytes < capacity) continue;
+      if (greedy && node->data_bytes <= best_bytes) continue;
       Job probe;
       probe.node = node;
       probe.targets = Children(version, level, *node);
       if (AnyBusy(probe, busy)) continue;
-      // Precondition (Sec 4.2.1): an internal child that is itself full is
-      // flushed first; the deepest-first scan already guarantees any such
-      // child was handled or is busy (then AnyBusy skipped us).
+      // Precondition (Sec 4.2.1): an internal child that is itself full
+      // must be flushed first.  The deepest-first scan guarantees that for
+      // the first hit (any such child was handled or is busy, and a busy
+      // child means AnyBusy skipped us) — but the greedy pick compares
+      // across levels, so a shallow node could otherwise be chosen over
+      // its own full child.  Skip such nodes explicitly; the child is a
+      // candidate itself, so progress is preserved.
+      if (greedy && level < n - 2) {
+        bool full_internal_child = false;
+        for (const auto& t : probe.targets) {
+          if (t->data_bytes >= capacity) {
+            full_internal_child = true;
+            break;
+          }
+        }
+        if (full_internal_child) continue;
+      }
       probe.level = level;
       const double split_at =
           db_->options().amt.split_child_factor * Fanout();
@@ -271,9 +291,17 @@ bool AmtEngine::PickCompactionJob(const TreeVersion& version,
                            probe.targets.size() >= 2
                        ? Job::Type::kSplit
                        : Job::Type::kFlushNode;
-      *job = probe;
-      return true;
+      if (!greedy) {
+        *job = probe;
+        return true;
+      }
+      best = probe;
+      best_bytes = probe.node->data_bytes;
     }
+  }
+  if (greedy && best.node != nullptr) {
+    *job = best;
+    return true;
   }
   return false;
 }
@@ -1225,10 +1253,7 @@ void AmtEngine::AddIterators(const ReadOptions& options,
   }
 }
 
-void AmtEngine::FillStats(DbStats* stats) const {
-  MixedLevelChoice mixed = mixed_level();
-  stats->mixed_level = mixed.m;
-  stats->mixed_level_k = mixed.k;
+uint64_t AmtEngine::CompactionDebtBytes() const {
   // Outstanding structural work: full internal nodes waiting to flush and
   // node-count excesses waiting to combine.
   TreeVersionPtr version = current_version();
@@ -1247,7 +1272,14 @@ void AmtEngine::FillStats(DbStats* stats) const {
       debt += (nodes.size() - limit) * (capacity / 2);
     }
   }
-  stats->pending_debt_bytes = debt;
+  return debt;
+}
+
+void AmtEngine::FillStats(DbStats* stats) const {
+  MixedLevelChoice mixed = mixed_level();
+  stats->mixed_level = mixed.m;
+  stats->mixed_level_k = mixed.k;
+  stats->pending_debt_bytes = CompactionDebtBytes();
 }
 
 Status AmtEngine::CheckInvariants(bool quiescent) const {

@@ -63,6 +63,7 @@ class AmtEngine final : public TreeEngine {
   void AddIterators(const ReadOptions& options,
                     std::vector<Iterator*>* iters) override;
   WritePressure GetWritePressure() const override;
+  uint64_t CompactionDebtBytes() const override;
   void FillStats(DbStats* stats) const override;
   TreeVersionPtr current_version() const override {
     return current_.Snapshot();

@@ -1,0 +1,105 @@
+#include "core/compaction_pacer.h"
+
+#include <algorithm>
+
+namespace iamdb {
+
+CompactionPacer::CompactionPacer(const PacingOptions& options,
+                                 RateLimiter* limiter, RateClock* clock)
+    : opts_(options),
+      limiter_(limiter),
+      clock_(clock),
+      last_retune_micros_(clock->NowMicros()) {}
+
+void CompactionPacer::RecordIngest(uint64_t bytes) {
+  ingest_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+bool CompactionPacer::RetuneDue() const {
+  return clock_->NowMicros() -
+             last_retune_micros_.load(std::memory_order_relaxed) >=
+         opts_.retune_interval_micros;
+}
+
+uint64_t CompactionPacer::TargetRate(uint64_t load_bytes_per_sec,
+                                     uint64_t debt_bytes) const {
+  // Low-debt budget: just above the sustained load so steady-state merges
+  // drain slightly faster than the work arrives, clamped to the range.
+  uint64_t smooth = std::max(
+      opts_.min_bytes_per_sec,
+      static_cast<uint64_t>(static_cast<double>(load_bytes_per_sec) *
+                            opts_.headroom));
+  smooth = std::min(smooth, opts_.max_bytes_per_sec);
+  if (debt_bytes <= opts_.debt_low_bytes) return smooth;
+  if (debt_bytes >= opts_.debt_high_bytes) return opts_.max_bytes_per_sec;
+  const double frac =
+      static_cast<double>(debt_bytes - opts_.debt_low_bytes) /
+      static_cast<double>(opts_.debt_high_bytes - opts_.debt_low_bytes);
+  return smooth + static_cast<uint64_t>(
+                      frac * static_cast<double>(opts_.max_bytes_per_sec -
+                                                 smooth));
+}
+
+void CompactionPacer::MaybeRetune(uint64_t debt_bytes) {
+  const uint64_t now = clock_->NowMicros();
+  const uint64_t last = last_retune_micros_.load(std::memory_order_relaxed);
+  if (now - last < opts_.retune_interval_micros) return;
+  last_retune_micros_.store(now, std::memory_order_relaxed);
+
+  const uint64_t window = now - last;
+  const uint64_t ingested = ingest_bytes_.exchange(0, std::memory_order_relaxed);
+  // Demand: bytes compaction/flush offered to the limiter this window.
+  // Counted at Request() entry, so it sees the write-amplified bytes that
+  // user ingest alone cannot.
+  const uint64_t total = limiter_->total_bytes();
+  const uint64_t offered =
+      total - last_total_bytes_.exchange(total, std::memory_order_relaxed);
+  const uint64_t paced = limiter_->total_paced_wall_micros();
+  const uint64_t paced_delta =
+      paced - last_paced_wall_.exchange(paced, std::memory_order_relaxed);
+
+  if (ingested == 0 && offered == 0 &&
+      debt_bytes <= opts_.debt_low_bytes) {
+    // Idle window: nothing to pace, so there is no signal in it.  Keep the
+    // learned budget and EWMAs rather than decaying them, so pacing does
+    // not have to re-converge after every lull.
+    return;
+  }
+
+  // EWMA with alpha = 1/2: smooth enough to ride out batch jitter, fast
+  // enough to track a workload shift within a few intervals.
+  const uint64_t ingest_rate = ingested * 1000000 / window;
+  const uint64_t smoothed_ingest =
+      (smoothed_ingest_.load(std::memory_order_relaxed) + ingest_rate) / 2;
+  smoothed_ingest_.store(smoothed_ingest, std::memory_order_relaxed);
+
+  const uint64_t demand_rate = offered * 1000000 / window;
+  const uint64_t smoothed_demand =
+      (smoothed_demand_.load(std::memory_order_relaxed) + demand_rate) / 2;
+  smoothed_demand_.store(smoothed_demand, std::memory_order_relaxed);
+
+  uint64_t target =
+      TargetRate(std::max(smoothed_ingest, smoothed_demand), debt_bytes);
+
+  // Demand is itself throttled by the current budget, so measured demand
+  // understates the true need whenever the limiter is the bottleneck.
+  // While the tree is healthy that is exactly what pacing means — but if
+  // debt has climbed past the low watermark AND threads sat blocked in
+  // the limiter for most of the window (wall-clock), the budget is
+  // genuinely starving merges: escalate multiplicatively (x1.5 per
+  // interval — fast enough to outrun debt growth, gentle enough not to
+  // slam the budget open and bring back unpaced burstiness) until
+  // compaction stops being limiter-bound; the law settles it afterwards.
+  if (paced_delta * 2 >= window && debt_bytes > opts_.debt_low_bytes) {
+    const uint64_t rate = limiter_->bytes_per_second();
+    target = std::max(target,
+                      std::min(rate + rate / 2, opts_.max_bytes_per_sec));
+  }
+
+  if (target != limiter_->bytes_per_second()) {
+    limiter_->SetBytesPerSecond(target);
+    retunes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace iamdb

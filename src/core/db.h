@@ -51,9 +51,20 @@ struct DbStats {
   uint64_t compact_queue_depth = 0;
   // Key-range shards fanned out by partitioned subcompactions (cumulative).
   uint64_t subcompactions_run = 0;
-  // Total time background I/O spent blocked in the rate limiter
-  // (cumulative; 0 when compaction_rate_limit is off).
+  // Total time background I/O spent blocked in the rate limiter, SUMMED
+  // PER THREAD — with several threads blocked concurrently this exceeds
+  // wall-clock run time (cumulative; 0 when pacing is off).
   uint64_t rate_limiter_wait_micros = 0;
+  // Wall-clock time during which at least one background thread sat
+  // blocked in the limiter (overlapping waits counted once) — "how long
+  // was pacing the bottleneck".  Wire tag 32.
+  uint64_t rate_limiter_paced_wall_micros = 0;
+  // Adaptive pacing gauges (wire tags 29-31; 0 when pacing.adaptive is
+  // off).  Rates sum across shards — the aggregate is the cluster-wide
+  // background I/O budget / ingest estimate.
+  uint64_t pacer_rate_bytes_per_sec = 0;
+  uint64_t pacer_ingest_bytes_per_sec = 0;
+  uint64_t pacer_retunes = 0;
   // Serving-layer reactor counters (wire tags 23-28).  Filled only by the
   // server's INFO path so remote stats consumers see the reactor alongside
   // the engine; always zero in an embedded DB::GetStats().

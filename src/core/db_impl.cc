@@ -43,7 +43,18 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname)
   block_cache_ = std::make_unique<LruCache>(options.block_cache_capacity);
   options_.table.block_cache = block_cache_.get();
   pool_ = std::make_unique<ThreadPool>(std::max(1, options.background_threads));
-  if (options.compaction_rate_limit > 0) {
+  if (options.pacing.adaptive) {
+    // Adaptive pacing owns the budget: start with the bucket open (the
+    // unpaced behaviour) and let the controller pace it down as it learns
+    // the workload — converging down from max is a couple of retune
+    // intervals, whereas ramping up from the floor would throttle the
+    // first seconds of a write burst behind an unwarmed estimate.
+    rate_limiter_ =
+        std::make_unique<RateLimiter>(options.pacing.max_bytes_per_sec);
+    pacer_ = std::make_unique<CompactionPacer>(options.pacing,
+                                               rate_limiter_.get());
+    options_.table.rate_limiter = rate_limiter_.get();
+  } else if (options.compaction_rate_limit > 0) {
     rate_limiter_ = std::make_unique<RateLimiter>(options.compaction_rate_limit);
     // Table builds during flush/merge pace their block writes; user writes
     // go through the WAL + memtable and are never paced.
@@ -87,6 +98,24 @@ Status ValidateOptions(const Options& options) {
   }
   if (options.max_subcompactions < 0 || options.max_subcompactions > 64) {
     return Status::InvalidArgument("max_subcompactions must be in [0, 64]");
+  }
+  if (options.pacing.adaptive) {
+    const PacingOptions& p = options.pacing;
+    if (p.min_bytes_per_sec == 0 || p.max_bytes_per_sec < p.min_bytes_per_sec) {
+      return Status::InvalidArgument(
+          "pacing requires 0 < min_bytes_per_sec <= max_bytes_per_sec");
+    }
+    if (p.debt_low_bytes >= p.debt_high_bytes) {
+      return Status::InvalidArgument(
+          "pacing.debt_low_bytes must be below debt_high_bytes");
+    }
+    if (p.retune_interval_micros == 0) {
+      return Status::InvalidArgument(
+          "pacing.retune_interval_micros must be positive");
+    }
+    if (p.headroom < 1.0) {
+      return Status::InvalidArgument("pacing.headroom must be at least 1");
+    }
   }
   if (options.engine == EngineType::kAmt) {
     if (options.amt.fanout < 2) {
@@ -519,6 +548,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         status = WriteBatchInternal::InsertInto(write_batch, mem_);
       }
       amp_stats_.RecordUserWrite(WriteBatchInternal::UserBytes(write_batch));
+      if (pacer_ != nullptr) {
+        pacer_->RecordIngest(WriteBatchInternal::UserBytes(write_batch));
+      }
       amp_stats_.RecordWal(contents.size());
       l.lock();
     }
@@ -622,6 +654,13 @@ void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
 void DBImpl::MaybeScheduleBackgroundWork() {
   if (shutting_down_.load(std::memory_order_acquire) || !bg_error_.ok()) {
     return;
+  }
+  // Adaptive pacing: every scheduling pass is a chance to retune — this is
+  // where debt changes (rotations, job completions).  RetuneDue() keeps the
+  // off-interval cost to one clock read; MaybeRetune is non-blocking (the
+  // limiter mutex is a leaf lock), so holding mutex_ here is fine.
+  if (pacer_ != nullptr && pacer_->RetuneDue()) {
+    pacer_->MaybeRetune(engine_->CompactionDebtBytes());
   }
   // Flush lane: one dedicated high-lane worker whenever an imm is pending.
   // Flushes serialize on the single imm slot, so one worker is always
@@ -890,6 +929,13 @@ DbStats DBImpl::GetStats() {
   stats.subcompactions_run = subcompactions_.load(std::memory_order_relaxed);
   if (rate_limiter_ != nullptr) {
     stats.rate_limiter_wait_micros = rate_limiter_->total_wait_micros();
+    stats.rate_limiter_paced_wall_micros =
+        rate_limiter_->total_paced_wall_micros();
+    stats.pacer_rate_bytes_per_sec = rate_limiter_->bytes_per_second();
+  }
+  if (pacer_ != nullptr) {
+    stats.pacer_ingest_bytes_per_sec = pacer_->ingest_rate();
+    stats.pacer_retunes = pacer_->retunes();
   }
   engine_->FillStats(&stats);
   return stats;

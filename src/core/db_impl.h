@@ -11,6 +11,7 @@
 #include <set>
 #include <string>
 
+#include "core/compaction_pacer.h"
 #include "core/db.h"
 #include "core/dbformat.h"
 #include "core/manifest.h"
@@ -176,6 +177,10 @@ class DBImpl final : public DB {
   std::unique_ptr<TreeEngine> engine_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<RateLimiter> rate_limiter_;
+  // Non-null iff options.pacing.adaptive: retunes rate_limiter_ from the
+  // measured ingest rate and the engine's compaction debt (see
+  // core/compaction_pacer.h).
+  std::unique_ptr<CompactionPacer> pacer_;
   // Two-lane scheduling accounting (mutex_): at most one flush worker —
   // flushes serialize on the single imm anyway — plus one compaction
   // worker per job the engine says is runnable right now.

@@ -68,6 +68,12 @@ DbStats& operator+=(DbStats& lhs, const DbStats& rhs) {
   lhs.compact_queue_depth += rhs.compact_queue_depth;
   lhs.subcompactions_run += rhs.subcompactions_run;
   lhs.rate_limiter_wait_micros += rhs.rate_limiter_wait_micros;
+  lhs.rate_limiter_paced_wall_micros += rhs.rate_limiter_paced_wall_micros;
+  // Budgets and ingest rates sum: the aggregate is the cluster-wide
+  // bytes/sec.  Retunes are a plain counter.
+  lhs.pacer_rate_bytes_per_sec += rhs.pacer_rate_bytes_per_sec;
+  lhs.pacer_ingest_bytes_per_sec += rhs.pacer_ingest_bytes_per_sec;
+  lhs.pacer_retunes += rhs.pacer_retunes;
   lhs.server_loop_iterations += rhs.server_loop_iterations;
   lhs.server_writev_calls += rhs.server_writev_calls;
   lhs.server_responses_written += rhs.server_responses_written;

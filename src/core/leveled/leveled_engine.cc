@@ -80,9 +80,42 @@ uint64_t LeveledEngine::MaxBytesForLevel(int level) const {
   return static_cast<uint64_t>(bytes);
 }
 
+uint64_t LeveledEngine::LevelDebtBytes(const TreeVersion& version,
+                                       int level) const {
+  const LeveledOptions& opts = db_->options().leveled;
+  if (level == 0) {
+    size_t files = version.level(0).size();
+    if (files < static_cast<size_t>(opts.l0_compaction_trigger)) return 0;
+    // L0 files overlap, so bytes-over-limit does not apply; price the
+    // excess (inclusive of the triggering file) in output-file units.
+    return (files - opts.l0_compaction_trigger + 1) * opts.target_file_size;
+  }
+  uint64_t bytes = version.LevelBytes(level);
+  uint64_t limit = MaxBytesForLevel(level);
+  return bytes > limit ? bytes - limit : 0;
+}
+
 int LeveledEngine::PickCompactionLevel(const std::set<int>& busy) const {
   TreeVersionPtr version = current_version();
   const LeveledOptions& opts = db_->options().leveled;
+  if (db_->options().greedy_compaction) {
+    // Greedy debt scheduling: take the level owing the most bytes, not the
+    // first or best-ratio one.  A level is eligible exactly when its debt
+    // is positive, so the two modes agree on *whether* to compact and
+    // differ only in pick order.  Ties break toward L0 — its buildup is
+    // what stalls the write path.
+    uint64_t best_debt = 0;
+    int best_level = -1;
+    for (int level = 0; level < kNumLevels - 1; level++) {
+      if (busy.count(level) || busy.count(level + 1)) continue;
+      uint64_t debt = LevelDebtBytes(*version, level);
+      if (debt > best_debt) {
+        best_debt = debt;
+        best_level = level;
+      }
+    }
+    return best_level;
+  }
   double best_score = 1.0;
   int best_level = -1;
   // L0 score: file count.
@@ -430,19 +463,39 @@ Status LeveledEngine::CompactLevel(int level) {
       }
     }
   } else {
-    // Round-robin: first node with range_lo > compact_pointer_[level].
     const auto& nodes = version->level(level);
     if (nodes.empty()) return Status::OK();
     NodePtr picked;
-    for (const auto& node : nodes) {
-      if (compact_pointer_[level].empty() ||
-          node->range_lo > compact_pointer_[level]) {
-        picked = node;
-        break;
+    if (options.greedy_compaction) {
+      // Greedy: the node with the cheapest write cost per debt byte
+      // retired — most of the merge's output should be this node's own
+      // bytes, not rewritten next-level overlap.
+      double best_ratio = -1.0;
+      for (const auto& node : nodes) {
+        uint64_t overlap = 0;
+        for (const auto& below : OverlappingInputs(
+                 *version, level + 1, node->range_lo, node->range_hi)) {
+          overlap += below->data_bytes;
+        }
+        double ratio = static_cast<double>(node->data_bytes) /
+                       static_cast<double>(node->data_bytes + overlap);
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          picked = node;
+        }
       }
+    } else {
+      // Round-robin: first node with range_lo > compact_pointer_[level].
+      for (const auto& node : nodes) {
+        if (compact_pointer_[level].empty() ||
+            node->range_lo > compact_pointer_[level]) {
+          picked = node;
+          break;
+        }
+      }
+      if (picked == nullptr) picked = nodes.front();  // wrap around
+      compact_pointer_[level] = picked->range_lo;
     }
-    if (picked == nullptr) picked = nodes.front();  // wrap around
-    compact_pointer_[level] = picked->range_lo;
     inputs0.push_back(picked);
   }
   if (inputs0.empty()) return Status::OK();
@@ -693,9 +746,7 @@ void LeveledEngine::AddIterators(const ReadOptions& options,
   }
 }
 
-void LeveledEngine::FillStats(DbStats* stats) const {
-  stats->mixed_level = 0;
-  stats->mixed_level_k = 0;
+uint64_t LeveledEngine::CompactionDebtBytes() const {
   TreeVersionPtr version = current_version();
   const LeveledOptions& opts = db_->options().leveled;
   uint64_t debt = PendingCompactionDebt();
@@ -703,7 +754,13 @@ void LeveledEngine::FillStats(DbStats* stats) const {
   if (l0 > static_cast<size_t>(opts.l0_compaction_trigger)) {
     debt += (l0 - opts.l0_compaction_trigger) * opts.target_file_size;
   }
-  stats->pending_debt_bytes = debt;
+  return debt;
+}
+
+void LeveledEngine::FillStats(DbStats* stats) const {
+  stats->mixed_level = 0;
+  stats->mixed_level_k = 0;
+  stats->pending_debt_bytes = CompactionDebtBytes();
 }
 
 Status LeveledEngine::CheckInvariants(bool quiescent) const {

@@ -41,6 +41,7 @@ class LeveledEngine final : public TreeEngine {
   void AddIterators(const ReadOptions& options,
                     std::vector<Iterator*>* iters) override;
   WritePressure GetWritePressure() const override;
+  uint64_t CompactionDebtBytes() const override;
   void FillStats(DbStats* stats) const override;
   TreeVersionPtr current_version() const override {
     return current_.Snapshot();
@@ -49,8 +50,13 @@ class LeveledEngine final : public TreeEngine {
 
  private:
   uint64_t MaxBytesForLevel(int level) const;
-  // Highest-scoring compactable level whose input+output levels are not in
-  // `busy`; -1 if none scores >= 1.
+  // Debt a compaction of `level` would retire: L0 excess files (in
+  // target_file_size units), L1+ bytes over the level limit.  0 when the
+  // level is within shape.
+  uint64_t LevelDebtBytes(const TreeVersion& version, int level) const;
+  // Compactable level whose input+output levels are not in `busy`; -1 if
+  // none qualifies.  Greedy mode (options.greedy_compaction) picks the
+  // level owing the most debt bytes; classic mode the best fullness ratio.
   int PickCompactionLevel(const std::set<int>& busy) const;
   uint64_t PendingCompactionDebt() const;
 

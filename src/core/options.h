@@ -101,6 +101,39 @@ struct LeveledOptions {
   uint64_t hard_pending_bytes = 512ull << 20;
 };
 
+// Adaptive compaction pacing (see core/compaction_pacer.h).  When enabled
+// the fixed compaction_rate_limit is replaced by a controller that measures
+// the sustained ingest/compaction load and the engine's outstanding
+// compaction debt and retunes the token bucket: at low debt merges are
+// paced just above the measured load (smooth, no device saturation); as
+// debt climbs toward debt_high_bytes the budget opens linearly up to
+// max_bytes_per_sec so debt stays bounded instead of snowballing into
+// write stalls.
+struct PacingOptions {
+  bool adaptive = false;
+
+  // Clamp range for the adaptive budget.  The bucket starts at max (the
+  // unpaced behaviour) and is paced down as the controller learns.
+  uint64_t min_bytes_per_sec = 8ull << 20;
+  uint64_t max_bytes_per_sec = 1ull << 30;
+
+  // Debt watermarks: at or below low the budget tracks the measured load;
+  // at or above high it is fully open; linear in between.  Sized so the
+  // budget is wide open well before the engines' own pending-debt write
+  // stalls (soft 256MB / hard 512MB) engage: transient debt from one big
+  // merge should ride on the smooth load-tracking budget, not slam it
+  // open.
+  uint64_t debt_low_bytes = 64ull << 20;
+  uint64_t debt_high_bytes = 256ull << 20;
+
+  // Controller cadence; retunes are rate-limited to one per interval.
+  uint64_t retune_interval_micros = 50 * 1000;
+
+  // Multiplier applied to the smoothed load for the low-debt budget, so
+  // merges run slightly hot and drain rather than track debt exactly.
+  double headroom = 1.25;
+};
+
 struct Options {
   // -- shared --
   Env* env = nullptr;  // required
@@ -126,8 +159,17 @@ struct Options {
 
   // Background (compaction + flush) I/O budget in bytes/sec; 0 = unpaced.
   // Flush I/O has priority over merge I/O inside the budget (see
-  // util/rate_limiter.h).
+  // util/rate_limiter.h).  Ignored when pacing.adaptive is set — the pacer
+  // owns the budget then.
   uint64_t compaction_rate_limit = 0;
+
+  // Adaptive replacement for compaction_rate_limit (see PacingOptions).
+  PacingOptions pacing;
+
+  // Background job selection: pick the compaction that retires the most
+  // debt bytes first (greedy) instead of fixed scan/round-robin order.
+  // Applies to all engines; see docs/CONCURRENCY.md.
+  bool greedy_compaction = true;
 
   // Block cache capacity; models the memory available for data blocks.
   uint64_t block_cache_capacity = 64ull << 20;

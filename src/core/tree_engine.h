@@ -66,6 +66,13 @@ class TreeEngine {
   // Write-throttling decision (DB mutex held).
   virtual WritePressure GetWritePressure() const = 0;
 
+  // Bytes of merge work the published version owes before the tree is back
+  // within its shape thresholds (over-limit level bytes, full nodes).  The
+  // adaptive pacer's feedback signal, and DbStats.pending_debt_bytes.
+  // Lock-free: reads the published version, so callers may hold the DB
+  // mutex or nothing at all.
+  virtual uint64_t CompactionDebtBytes() const = 0;
+
   // Engine-specific statistics (no DB mutex; reads the published version).
   virtual void FillStats(DbStats* stats) const = 0;
 

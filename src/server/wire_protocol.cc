@@ -291,9 +291,14 @@ enum StatsTag : uint32_t {
   kTagServerOutputBufferHwm = 26,
   kTagServerBackpressureStalls = 27,
   kTagServerAcceptErrors = 28,
+  // Adaptive compaction pacing gauges.
+  kTagPacerRate = 29,
+  kTagPacerIngestRate = 30,
+  kTagPacerRetunes = 31,
+  kTagRateLimiterPacedWallMicros = 32,
 };
 
-static_assert(kTagServerAcceptErrors == kMaxDbStatsTag,
+static_assert(kTagRateLimiterPacedWallMicros == kMaxDbStatsTag,
               "bump wire::kMaxDbStatsTag when adding a StatsTag");
 
 void PutField(std::string* dst, uint32_t tag, const std::string& bytes) {
@@ -365,6 +370,17 @@ void EncodeDbStats(const DbStats& stats, std::string* dst) {
   PutU64Field(dst, kTagCompactQueueDepth, stats.compact_queue_depth);
   PutU64Field(dst, kTagSubcompactionsRun, stats.subcompactions_run);
   PutU64Field(dst, kTagRateLimiterWaitMicros, stats.rate_limiter_wait_micros);
+  // Pacing tags, omitted when pacing never engaged (all four zero) so an
+  // unpaced snapshot keeps its historical byte layout.
+  if (stats.pacer_rate_bytes_per_sec != 0 ||
+      stats.pacer_ingest_bytes_per_sec != 0 || stats.pacer_retunes != 0 ||
+      stats.rate_limiter_paced_wall_micros != 0) {
+    PutU64Field(dst, kTagPacerRate, stats.pacer_rate_bytes_per_sec);
+    PutU64Field(dst, kTagPacerIngestRate, stats.pacer_ingest_bytes_per_sec);
+    PutU64Field(dst, kTagPacerRetunes, stats.pacer_retunes);
+    PutU64Field(dst, kTagRateLimiterPacedWallMicros,
+                stats.rate_limiter_paced_wall_micros);
+  }
   // The reactor tags are omitted entirely when zero (embedded DB): old
   // decoders skip unknown tags anyway, and an embedded snapshot stays
   // byte-identical to the pre-reactor encoding.
@@ -496,6 +512,18 @@ bool DecodeDbStats(Slice payload, DbStats* stats) {
         break;
       case kTagServerAcceptErrors:
         if (!get_u64(&stats->server_accept_errors)) return false;
+        break;
+      case kTagPacerRate:
+        if (!get_u64(&stats->pacer_rate_bytes_per_sec)) return false;
+        break;
+      case kTagPacerIngestRate:
+        if (!get_u64(&stats->pacer_ingest_bytes_per_sec)) return false;
+        break;
+      case kTagPacerRetunes:
+        if (!get_u64(&stats->pacer_retunes)) return false;
+        break;
+      case kTagRateLimiterPacedWallMicros:
+        if (!get_u64(&stats->rate_limiter_paced_wall_micros)) return false;
         break;
       default:
         break;  // forward compatibility: skip unknown field

@@ -7,17 +7,30 @@ namespace iamdb {
 
 namespace {
 
-uint64_t NowMicros() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+class SteadyRateClock : public RateClock {
+ public:
+  uint64_t NowMicros() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void WaitFor(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+               uint64_t micros) override {
+    cv.wait_for(lock, std::chrono::microseconds(micros));
+  }
+};
 
 thread_local RateLimiter::IoPriority tls_priority =
     RateLimiter::IoPriority::kLow;
 
 }  // namespace
+
+RateClock* RateClock::Default() {
+  static SteadyRateClock clock;
+  return &clock;
+}
 
 RateLimiter::IoPriority RateLimiter::ThreadPriority() { return tls_priority; }
 
@@ -28,30 +41,50 @@ RateLimiter::ScopedPriority::ScopedPriority(IoPriority priority)
 
 RateLimiter::ScopedPriority::~ScopedPriority() { tls_priority = saved_; }
 
-RateLimiter::RateLimiter(uint64_t bytes_per_second)
-    : bytes_per_second_(bytes_per_second),
-      // 100ms worth of budget; large enough that block-sized requests don't
-      // wake per block at realistic rates, small enough to bound bursts.
-      burst_bytes_(std::max<uint64_t>(bytes_per_second / 10, 64 << 10)),
-      last_refill_micros_(NowMicros()) {}
+// 100ms worth of budget; large enough that block-sized requests don't wake
+// per block at realistic rates, small enough to bound bursts.
+uint64_t RateLimiter::BurstFor(uint64_t bytes_per_second) {
+  return std::max<uint64_t>(bytes_per_second / 10, 64 << 10);
+}
+
+RateLimiter::RateLimiter(uint64_t bytes_per_second, RateClock* clock)
+    : clock_(clock),
+      bytes_per_second_(bytes_per_second),
+      burst_bytes_(BurstFor(bytes_per_second)),
+      last_refill_micros_(clock->NowMicros()) {}
 
 void RateLimiter::Refill(uint64_t now_micros) {
   if (now_micros <= last_refill_micros_) return;
   uint64_t elapsed = now_micros - last_refill_micros_;
-  uint64_t add = elapsed * bytes_per_second_ / 1000000;
+  uint64_t add =
+      elapsed * bytes_per_second_.load(std::memory_order_relaxed) / 1000000;
   if (add == 0) return;  // keep the remainder accruing
-  available_ = std::min(available_ + add, burst_bytes_);
+  available_ =
+      std::min(available_ + add, burst_bytes_.load(std::memory_order_relaxed));
   last_refill_micros_ = now_micros;
 }
 
+void RateLimiter::SetBytesPerSecond(uint64_t bytes_per_second) {
+  std::lock_guard<std::mutex> l(mu_);
+  // Settle accrued budget at the old rate before the new one takes effect,
+  // so a retune never back-dates cheap or expensive credit.
+  Refill(clock_->NowMicros());
+  bytes_per_second_.store(bytes_per_second, std::memory_order_relaxed);
+  const uint64_t burst = BurstFor(bytes_per_second);
+  burst_bytes_.store(burst, std::memory_order_relaxed);
+  available_ = std::min(available_, burst);
+  cv_.notify_all();  // waiters re-evaluate (and drain entirely on rate 0)
+}
+
 void RateLimiter::Request(uint64_t bytes) {
-  if (bytes_per_second_ == 0 || bytes == 0) return;
+  if (bytes_per_second() == 0 || bytes == 0) return;
   total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   const IoPriority priority = tls_priority;
   // Requests larger than the bucket are charged in bucket-sized chunks so
   // one huge write cannot monopolize (or deadlock on) the budget.
   while (bytes > 0) {
-    uint64_t chunk = std::min(bytes, burst_bytes_);
+    uint64_t chunk =
+        std::min(bytes, burst_bytes_.load(std::memory_order_relaxed));
     RequestChunk(chunk, priority);
     bytes -= chunk;
   }
@@ -59,29 +92,56 @@ void RateLimiter::Request(uint64_t bytes) {
 
 void RateLimiter::RequestChunk(uint64_t bytes, IoPriority priority) {
   std::unique_lock<std::mutex> l(mu_);
-  const uint64_t start = NowMicros();
+  const uint64_t start = clock_->NowMicros();
   Refill(start);
   if (priority == IoPriority::kHigh) high_waiters_++;
   bool waited = false;
-  while (available_ < bytes ||
-         (priority == IoPriority::kLow && high_waiters_ > 0)) {
-    waited = true;
+  while (true) {
+    const uint64_t rate = bytes_per_second_.load(std::memory_order_relaxed);
+    if (rate == 0) break;  // retuned to unpaced mid-wait: grant for free
+    // A retune may have shrunk the bucket below this chunk; clamp so the
+    // chunk stays satisfiable.
+    bytes = std::min(bytes, burst_bytes_.load(std::memory_order_relaxed));
+    if (available_ >= bytes &&
+        (priority == IoPriority::kHigh || high_waiters_ == 0)) {
+      available_ -= bytes;
+      break;
+    }
+    if (!waited) {
+      waited = true;
+      if (waiters_++ == 0) paced_cursor_micros_ = start;
+    }
     // Sleep roughly until the deficit refills; re-check on wake.  Waking a
     // touch early just loops; late just means coarser pacing.
     uint64_t deficit = available_ < bytes ? bytes - available_ : bytes;
-    uint64_t wait_us =
-        std::max<uint64_t>(deficit * 1000000 / bytes_per_second_, 100);
-    cv_.wait_for(l, std::chrono::microseconds(wait_us));
-    Refill(NowMicros());
+    uint64_t wait_us = std::max<uint64_t>(deficit * 1000000 / rate, 100);
+    clock_->WaitFor(cv_, l, wait_us);
+    const uint64_t awake = clock_->NowMicros();
+    // Flush the elapsed paced-wall slice on every wake, not just when the
+    // last waiter leaves: the pacer reads this gauge mid-saturation to
+    // detect that the limiter is the bottleneck, so it must keep advancing
+    // while threads stay blocked.  The cursor is shared (under mu_), so
+    // overlapping waits are still counted once.
+    if (awake > paced_cursor_micros_) {
+      total_paced_wall_micros_.fetch_add(awake - paced_cursor_micros_,
+                                         std::memory_order_relaxed);
+      paced_cursor_micros_ = awake;
+    }
+    Refill(awake);
   }
-  available_ -= bytes;
   if (priority == IoPriority::kHigh) {
     high_waiters_--;
     if (high_waiters_ == 0) cv_.notify_all();  // release yielding low waiters
   }
   if (waited) {
-    total_wait_micros_.fetch_add(NowMicros() - start,
-                                 std::memory_order_relaxed);
+    const uint64_t now = clock_->NowMicros();
+    total_wait_micros_.fetch_add(now - start, std::memory_order_relaxed);
+    if (now > paced_cursor_micros_) {
+      total_paced_wall_micros_.fetch_add(now - paced_cursor_micros_,
+                                         std::memory_order_relaxed);
+      paced_cursor_micros_ = now;
+    }
+    --waiters_;
   }
 }
 

@@ -7,10 +7,15 @@
 // (merge I/O); a low-priority waiter yields while any high-priority
 // request is waiting, so pacing never converts a merge into a flush stall.
 //
+// The rate is dynamic: SetBytesPerSecond() retunes the bucket while
+// requests are in flight (the CompactionPacer uses this to track ingest),
+// and setting 0 drains all waiters and disables pacing.
+//
 // Locking: the limiter's internal mutex is a leaf lock.  Request() blocks,
 // so it must only be called from unlocked I/O sections — never with the DB
-// mutex (or any other lock) held.  Table builders/readers call it from
-// exactly such sections.
+// mutex (or any other lock) held.  SetBytesPerSecond() never blocks, so it
+// *may* be called with the DB mutex held.  Table builders/readers call
+// Request() from exactly such unlocked sections.
 #pragma once
 
 #include <atomic>
@@ -20,13 +25,34 @@
 
 namespace iamdb {
 
+// Time source for the limiter.  Owning the wait as well as the clock is
+// what makes pacing testable: a simulated clock advances its own time in
+// WaitFor() and returns immediately, so unit tests never sleep.
+class RateClock {
+ public:
+  virtual ~RateClock() = default;
+
+  virtual uint64_t NowMicros() = 0;
+
+  // Block the calling thread for up to `micros` (or until notified).  The
+  // caller holds `lock` and re-checks its predicate on return.
+  virtual void WaitFor(std::condition_variable& cv,
+                       std::unique_lock<std::mutex>& lock,
+                       uint64_t micros) = 0;
+
+  // Process-wide steady_clock-backed default.
+  static RateClock* Default();
+};
+
 class RateLimiter {
  public:
   enum class IoPriority { kHigh, kLow };
 
   // bytes_per_second == 0 disables pacing (every Request returns
-  // immediately).
-  explicit RateLimiter(uint64_t bytes_per_second);
+  // immediately).  `clock` defaults to the steady-clock RateClock; tests
+  // inject a simulated one.
+  explicit RateLimiter(uint64_t bytes_per_second,
+                       RateClock* clock = RateClock::Default());
 
   RateLimiter(const RateLimiter&) = delete;
   RateLimiter& operator=(const RateLimiter&) = delete;
@@ -35,12 +61,28 @@ class RateLimiter {
   // current priority (see ScopedPriority), then consumes it.
   void Request(uint64_t bytes);
 
-  uint64_t bytes_per_second() const { return bytes_per_second_; }
+  // Retunes the bucket.  Budget already accrued is kept (clamped to the
+  // new burst size) and waiters re-evaluate at the new rate; 0 releases
+  // every waiter and disables pacing.  Non-blocking.
+  void SetBytesPerSecond(uint64_t bytes_per_second);
+
+  uint64_t bytes_per_second() const {
+    return bytes_per_second_.load(std::memory_order_relaxed);
+  }
   uint64_t total_bytes() const {
     return total_bytes_.load(std::memory_order_relaxed);
   }
+  // Sum of per-thread wait time.  With N threads blocked concurrently this
+  // advances N micros per elapsed micro, so it can exceed run time; use
+  // total_paced_wall_micros() for "how long was the limiter the
+  // bottleneck".
   uint64_t total_wait_micros() const {
     return total_wait_micros_.load(std::memory_order_relaxed);
+  }
+  // Wall-clock time during which at least one thread sat blocked in the
+  // limiter (concurrent waits counted once).
+  uint64_t total_paced_wall_micros() const {
+    return total_paced_wall_micros_.load(std::memory_order_relaxed);
   }
 
   // The priority Request() charges at, carried thread-locally so the table
@@ -61,20 +103,31 @@ class RateLimiter {
   };
 
  private:
+  static uint64_t BurstFor(uint64_t bytes_per_second);
+
   void RequestChunk(uint64_t bytes, IoPriority priority);
   void Refill(uint64_t now_micros);
 
-  const uint64_t bytes_per_second_;
-  const uint64_t burst_bytes_;  // bucket capacity (one refill quantum)
+  RateClock* const clock_;
+
+  // Written under mu_, read lock-free by Request()'s chunking loop and the
+  // stats path.
+  std::atomic<uint64_t> bytes_per_second_;
+  std::atomic<uint64_t> burst_bytes_;  // bucket capacity (one refill quantum)
 
   std::mutex mu_;
   std::condition_variable cv_;
   uint64_t available_ = 0;
   uint64_t last_refill_micros_ = 0;
   int high_waiters_ = 0;
+  int waiters_ = 0;  // threads currently blocked
+  // Paced-wall time up to this instant has been flushed into the gauge;
+  // meaningful only while waiters_ > 0 (reset on each 0 -> 1 transition).
+  uint64_t paced_cursor_micros_ = 0;
 
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<uint64_t> total_wait_micros_{0};
+  std::atomic<uint64_t> total_paced_wall_micros_{0};
 };
 
 }  // namespace iamdb

@@ -52,6 +52,10 @@ DbStats MakeStats(uint64_t base) {
   s.server_output_buffer_hwm = 22 + base;
   s.server_backpressure_stalls = 23 + base;
   s.server_accept_errors = 24 + base;
+  s.pacer_rate_bytes_per_sec = 25 + base;
+  s.pacer_ingest_bytes_per_sec = 26 + base;
+  s.pacer_retunes = 27 + base;
+  s.rate_limiter_paced_wall_micros = 28 + base;
   return s;
 }
 
@@ -121,6 +125,11 @@ TEST(DbStatsCodecTest, Roundtrip) {
   EXPECT_EQ(out.server_output_buffer_hwm, in.server_output_buffer_hwm);
   EXPECT_EQ(out.server_backpressure_stalls, in.server_backpressure_stalls);
   EXPECT_EQ(out.server_accept_errors, in.server_accept_errors);
+  EXPECT_EQ(out.pacer_rate_bytes_per_sec, in.pacer_rate_bytes_per_sec);
+  EXPECT_EQ(out.pacer_ingest_bytes_per_sec, in.pacer_ingest_bytes_per_sec);
+  EXPECT_EQ(out.pacer_retunes, in.pacer_retunes);
+  EXPECT_EQ(out.rate_limiter_paced_wall_micros,
+            in.rate_limiter_paced_wall_micros);
 }
 
 // Expected combination of two amp ratios, weighted by user bytes.
@@ -267,6 +276,22 @@ TEST(DbStatsAggregationTest, EveryTagHasAggregationSemantics) {
       case 28:
         EXPECT_EQ(sum.server_accept_errors,
                   a.server_accept_errors + b.server_accept_errors);
+        break;
+      case 29:  // budgets sum: the aggregate is the cluster-wide rate
+        EXPECT_EQ(sum.pacer_rate_bytes_per_sec,
+                  a.pacer_rate_bytes_per_sec + b.pacer_rate_bytes_per_sec);
+        break;
+      case 30:
+        EXPECT_EQ(sum.pacer_ingest_bytes_per_sec,
+                  a.pacer_ingest_bytes_per_sec + b.pacer_ingest_bytes_per_sec);
+        break;
+      case 31:
+        EXPECT_EQ(sum.pacer_retunes, a.pacer_retunes + b.pacer_retunes);
+        break;
+      case 32:
+        EXPECT_EQ(sum.rate_limiter_paced_wall_micros,
+                  a.rate_limiter_paced_wall_micros +
+                      b.rate_limiter_paced_wall_micros);
         break;
       default:
         ADD_FAILURE() << "tag " << tag

@@ -48,8 +48,16 @@ void PrintStats(const DbStats& stats) {
               " compaction\n",
               stats.flush_queue_depth, stats.compact_queue_depth);
   std::printf("subcompactions:    %" PRIu64 "\n", stats.subcompactions_run);
-  std::printf("rate_limit_wait:   %" PRIu64 "us\n",
-              stats.rate_limiter_wait_micros);
+  std::printf("rate_limit_wait:   %" PRIu64 "us threads / %" PRIu64
+              "us wall\n",
+              stats.rate_limiter_wait_micros,
+              stats.rate_limiter_paced_wall_micros);
+  if (stats.pacer_rate_bytes_per_sec > 0) {
+    std::printf("pacer:             %" PRIu64 "B/s budget, %" PRIu64
+                "B/s ingest, %" PRIu64 " retunes\n",
+                stats.pacer_rate_bytes_per_sec,
+                stats.pacer_ingest_bytes_per_sec, stats.pacer_retunes);
+  }
   if (stats.mixed_level > 0) {
     std::printf("mixed level:       m=%d k=%d\n", stats.mixed_level,
                 stats.mixed_level_k);

@@ -4,7 +4,12 @@
 //   iamdb_server --db=/path/to/db [--port=4490] [--host=127.0.0.1]
 //                [--engine=iam|lsa|leveled] [--threads=4] [--shards=N]
 //                [--db_shards=N] [--bg_threads=N] [--subcompactions=N]
-//                [--rate_limit_mb=N] [--cache_mb=64] [--sync_wal]
+//                [--rate_limit_mb=N] [--adaptive_pacing] [--cache_mb=64]
+//                [--sync_wal]
+//
+// --adaptive_pacing replaces the fixed --rate_limit_mb budget with the
+// debt/ingest feedback controller (core/compaction_pacer.h); when both are
+// given, --rate_limit_mb caps the adaptive budget.
 //
 // --shards controls the network reactor; --db_shards partitions the
 // database itself into N independent instances (ShardedDB).  A db dir
@@ -47,7 +52,8 @@ int Usage(const char* argv0) {
                "usage: %s --db=<dir> [--port=N] [--host=ADDR] "
                "[--engine=iam|lsa|leveled] [--threads=N] [--shards=N] "
                "[--db_shards=N] [--bg_threads=N] [--subcompactions=N] "
-               "[--rate_limit_mb=N] [--cache_mb=N] [--sync_wal]\n",
+               "[--rate_limit_mb=N] [--adaptive_pacing] [--cache_mb=N] "
+               "[--sync_wal]\n",
                argv0);
   return 2;
 }
@@ -104,6 +110,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown engine '%s'\n", v.c_str());
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--adaptive_pacing") == 0) {
+      db_options.pacing.adaptive = true;
     } else if (std::strcmp(argv[i], "--sync_wal") == 0) {
       db_options.sync_wal = true;
     } else {
@@ -112,6 +120,13 @@ int main(int argc, char** argv) {
     }
   }
   if (dbdir.empty()) return Usage(argv[0]);
+  if (db_options.pacing.adaptive && db_options.compaction_rate_limit > 0) {
+    // Both flags: the fixed limit becomes the adaptive ceiling.
+    db_options.pacing.max_bytes_per_sec = std::min(
+        db_options.pacing.max_bytes_per_sec, db_options.compaction_rate_limit);
+    db_options.pacing.min_bytes_per_sec = std::min(
+        db_options.pacing.min_bytes_per_sec, db_options.pacing.max_bytes_per_sec);
+  }
   // --bg_threads wins; otherwise take the larger of the hardware-derived
   // default and half the request workers.
   db_options.background_threads =
