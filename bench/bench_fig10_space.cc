@@ -4,9 +4,24 @@
 // updates to reclaim); IAM smallest (no overflow debt); LevelDB/RocksDB
 // slightly larger; LSA far larger on fillrandom (+~26%) and overwrite
 // (~2.3x) because appends never reclaim outdated records.
+//
+// --compression=<none|columnar|lz> runs one codec; --compression=sweep runs
+// all three so the codec's footprint win can be read off against the raw
+// baseline in one run.  Logical accounting keeps the tree shape (and hence
+// the systems' relative ordering) identical across codecs — compression only
+// shrinks the physical bytes.
+//
+// One JSON line per (test, system, compression) cell:
+//   {"bench":"fig10_space","test":"fillseq","system":"I-1t",
+//    "compression":"columnar","records":51200,"value_size":1024,
+//    "space_mb":31.2,"compress_ratio":2.04,"raw_fallback_blocks":0}
+// compress_ratio is builder input bytes / stored bytes (1.0 when the codec
+// is off or everything fell back to raw).
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "table/compressor.h"
 #include "workload/harness.h"
 
 using namespace iamdb;
@@ -18,7 +33,18 @@ int main(int argc, char** argv) {
   config.num_records = Scaled(config.num_records, scale);
   const uint64_t n = config.num_records;
 
-  std::printf("=== Figure 10: space usage (MB) after write tests ===\n");
+  bool sweep = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--compression=sweep") == 0) sweep = true;
+  }
+  std::vector<CompressionType> codecs;
+  if (sweep) {
+    codecs = {CompressionType::kNone, CompressionType::kColumnar,
+              CompressionType::kLz};
+  } else {
+    codecs = {ParseCompression(argc, argv)};
+  }
+
   std::vector<SystemId> systems = {SystemId::kL, SystemId::kR1, SystemId::kA1,
                                    SystemId::kI1};
 
@@ -29,40 +55,65 @@ int main(int argc, char** argv) {
   const std::vector<Test> tests = {
       {"fillseq", 0}, {"hash-load", 1}, {"fillrandom", 2}, {"overwrite", 3}};
 
-  std::printf("  %-11s", "test");
-  for (SystemId id : systems) std::printf(" %8s", SystemName(id));
-  std::printf("\n");
+  for (CompressionType codec : codecs) {
+    config.compression = codec;
+    std::printf("=== Figure 10: space usage (MB) after write tests"
+                " [compression=%s] ===\n",
+                CompressionTypeName(codec));
+    std::printf("  %-11s", "test");
+    for (SystemId id : systems) std::printf(" %8s", SystemName(id));
+    std::printf("\n");
 
-  for (const Test& test : tests) {
-    std::printf("  %-11s", test.name);
-    std::fflush(stdout);
-    for (SystemId id : systems) {
-      BenchDb bench(id, config);
-      switch (test.mode) {
-        case 0:
-          Load(&bench, n, /*ordered=*/true);
-          break;
-        case 1:
-          Load(&bench, n, /*ordered=*/false);
-          break;
-        case 2:
-          // Random inserts with collisions: draw n keys from a space of
-          // n/2 distinct keys -> ~half the writes are updates.
-          Load(&bench, n / 2, /*ordered=*/false);
-          Overwrite(&bench, n / 2, /*random_order=*/true, 11);
-          break;
-        case 3:
-          // Load once, then overwrite everything once in random order.
-          Load(&bench, n / 2, /*ordered=*/false);
-          Overwrite(&bench, n, /*random_order=*/true, 13);
-          break;
+    for (const Test& test : tests) {
+      std::printf("  %-11s", test.name);
+      std::fflush(stdout);
+      std::string json_lines;
+      for (SystemId id : systems) {
+        BenchDb bench(id, config);
+        switch (test.mode) {
+          case 0:
+            Load(&bench, n, /*ordered=*/true);
+            break;
+          case 1:
+            Load(&bench, n, /*ordered=*/false);
+            break;
+          case 2:
+            // Random inserts with collisions: draw n keys from a space of
+            // n/2 distinct keys -> ~half the writes are updates.
+            Load(&bench, n / 2, /*ordered=*/false);
+            Overwrite(&bench, n / 2, /*random_order=*/true, 11);
+            break;
+          case 3:
+            // Load once, then overwrite everything once in random order.
+            Load(&bench, n / 2, /*ordered=*/false);
+            Overwrite(&bench, n, /*random_order=*/true, 13);
+            break;
+        }
+        bench.db()->WaitForQuiescence();
+        DbStats stats = bench.db()->GetStats();
+        std::printf(" %8.1f", stats.space_used_bytes / 1048576.0);
+        std::fflush(stdout);
+
+        double ratio = stats.compress_stored_bytes > 0
+                           ? static_cast<double>(stats.compress_input_bytes) /
+                                 static_cast<double>(stats.compress_stored_bytes)
+                           : 1.0;
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"bench\":\"fig10_space\",\"test\":\"%s\",\"system\":\"%s\","
+            "\"compression\":\"%s\",\"records\":%llu,\"value_size\":%zu,"
+            "\"space_mb\":%.1f,\"compress_ratio\":%.2f,"
+            "\"raw_fallback_blocks\":%llu}\n",
+            test.name, SystemName(id), CompressionTypeName(codec),
+            static_cast<unsigned long long>(n), config.value_size,
+            stats.space_used_bytes / 1048576.0, ratio,
+            static_cast<unsigned long long>(stats.compress_raw_fallback_blocks));
+        json_lines += buf;
       }
-      bench.db()->WaitForQuiescence();
-      DbStats stats = bench.db()->GetStats();
-      std::printf(" %8.1f", stats.space_used_bytes / 1048576.0);
+      std::printf("\n%s", json_lines.c_str());
       std::fflush(stdout);
     }
-    std::printf("\n");
   }
   return 0;
 }

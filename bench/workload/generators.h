@@ -70,8 +70,11 @@ std::string HashedKey(uint64_t index);
 // Ordered key for sequential loads / db_bench fillseq.
 std::string OrderedKey(uint64_t index);
 
-// Deterministic pseudo-random value of `size` bytes seeded by the index
-// (compressibility does not matter: compression is off, paper Sec 6.1).
+// Deterministic pseudo-random value of `size` bytes seeded by the index.
+// Built from 8-byte letter runs, so it is RLE/LZ-compressible — the paper's
+// baseline (Sec 6.1) runs with compression off, but ScaleConfig::compression
+// sweeps (bench_fig10_space --compression) rely on the runs to show the
+// columnar codec's fixed-record win.
 std::string MakeValue(uint64_t index, size_t size);
 
 }  // namespace iamdb::bench

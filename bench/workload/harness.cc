@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "stats/io_stats.h"
+#include "table/compressor.h"
 
 namespace iamdb::bench {
 
@@ -93,6 +94,8 @@ Options MakeOptions(SystemId id, const ScaleConfig& scale, Env* env) {
   if (scale.background_threads > 0) {
     options.background_threads = scale.background_threads;
   }
+  options.table.compression = scale.compression;
+  options.compressed_cache_capacity = scale.compressed_cache_bytes;
   return options;
 }
 
@@ -400,6 +403,22 @@ int ParseBgThreads(int argc, char** argv, int def) {
   const char* env = std::getenv("IAMDB_BENCH_BG_THREADS");
   if (env != nullptr) return std::atoi(env);
   return def;
+}
+
+CompressionType ParseCompression(int argc, char** argv, CompressionType def) {
+  std::string name;
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--compression=", 14) == 0) {
+      name = argv[i] + 14;
+    }
+  }
+  if (name.empty()) {
+    const char* env = std::getenv("IAMDB_BENCH_COMPRESSION");
+    if (env != nullptr) name = env;
+  }
+  CompressionType type = def;
+  if (!name.empty()) ParseCompressionType(name, &type);
+  return type;
 }
 
 }  // namespace iamdb::bench

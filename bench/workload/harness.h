@@ -40,6 +40,12 @@ struct ScaleConfig {
   // Overrides every system's background thread count when > 0 (the
   // per-system defaults — 1 or 4 per Sec 6.1 — apply at 0).
   int background_threads = 0;
+  // Per-block codec for every system's tables (paper baseline: kNone).
+  // Logical accounting keeps tree shapes codec-invariant, so sweeping this
+  // changes space_used_bytes and IO volume but not amplification structure.
+  CompressionType compression = CompressionType::kNone;
+  // Compressed-block cache tier capacity; 0 = tier off.
+  uint64_t compressed_cache_bytes = 0;
 
   // "100GB data, 16GB memory" at 1/1000 scale.
   static ScaleConfig Gb100();
@@ -151,6 +157,11 @@ double ParseScale(int argc, char** argv, double def = 1.0);
 // Reads a background-thread override from argv ("--bg_threads=4") or
 // IAMDB_BENCH_BG_THREADS; 0 means "keep the per-system defaults".
 int ParseBgThreads(int argc, char** argv, int def = 0);
+
+// Reads the block codec from argv ("--compression=columnar") or
+// IAMDB_BENCH_COMPRESSION; unknown names fall back to `def`.
+CompressionType ParseCompression(int argc, char** argv,
+                                 CompressionType def = CompressionType::kNone);
 
 inline uint64_t Scaled(uint64_t n, double scale) {
   uint64_t v = static_cast<uint64_t>(n * scale);

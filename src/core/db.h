@@ -74,6 +74,23 @@ struct DbStats {
   uint64_t server_output_buffer_hwm = 0;
   uint64_t server_backpressure_stalls = 0;
   uint64_t server_accept_errors = 0;
+  // Per-block compression gauges (wire tags 33-42; all zero with
+  // compression off and no compressed tables read).  input/stored bytes
+  // compare the uncompressed size of built data blocks against what was
+  // written; block counts split per codec, with raw_fallback counting
+  // blocks the codec declined or that missed the ratio threshold.
+  uint64_t compress_input_bytes = 0;
+  uint64_t compress_stored_bytes = 0;
+  uint64_t compress_columnar_blocks = 0;
+  uint64_t compress_lz_blocks = 0;
+  uint64_t compress_raw_fallback_blocks = 0;
+  uint64_t decompressed_blocks = 0;
+  uint64_t decompress_micros = 0;
+  // Compressed-block cache tier (second LruCache; see
+  // Options::compressed_cache_capacity).
+  uint64_t compressed_cache_usage = 0;
+  uint64_t compressed_cache_hits = 0;
+  uint64_t compressed_cache_misses = 0;
 };
 
 // Aggregation across DB instances (ShardedDB sums its shards' stats).

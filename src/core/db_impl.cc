@@ -42,6 +42,12 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname)
   counting_env_ = std::make_unique<CountingEnv>(options.env, &io_stats_);
   block_cache_ = std::make_unique<LruCache>(options.block_cache_capacity);
   options_.table.block_cache = block_cache_.get();
+  if (options.compressed_cache_capacity > 0) {
+    compressed_block_cache_ =
+        std::make_unique<LruCache>(options.compressed_cache_capacity);
+    options_.table.compressed_block_cache = compressed_block_cache_.get();
+  }
+  options_.table.compression_stats = &compression_stats_;
   pool_ = std::make_unique<ThreadPool>(std::max(1, options.background_threads));
   if (options.pacing.adaptive) {
     // Adaptive pacing owns the budget: start with the bucket open (the
@@ -98,6 +104,11 @@ Status ValidateOptions(const Options& options) {
   }
   if (options.max_subcompactions < 0 || options.max_subcompactions > 64) {
     return Status::InvalidArgument("max_subcompactions must be in [0, 64]");
+  }
+  if (options.table.compression_max_stored_fraction <= 0 ||
+      options.table.compression_max_stored_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "table.compression_max_stored_fraction must be in (0, 1]");
   }
   if (options.pacing.adaptive) {
     const PacingOptions& p = options.pacing;
@@ -804,6 +815,21 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
                                                 stats.cache_misses),
                   stats.stall_micros / 1e6);
     value->append(buf);
+    if (stats.compress_input_bytes > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "compression=%s ratio=%.2fx stored=%.1fMB "
+                    "(columnar=%llu lz=%llu raw=%llu blocks)\n",
+                    CompressionTypeName(options_.table.compression),
+                    static_cast<double>(stats.compress_input_bytes) /
+                        std::max<uint64_t>(1, stats.compress_stored_bytes),
+                    stats.compress_stored_bytes / 1048576.0,
+                    static_cast<unsigned long long>(
+                        stats.compress_columnar_blocks),
+                    static_cast<unsigned long long>(stats.compress_lz_blocks),
+                    static_cast<unsigned long long>(
+                        stats.compress_raw_fallback_blocks));
+      value->append(buf);
+    }
     return true;
   }
   if (property == Slice("iamdb.levels")) {
@@ -885,6 +911,9 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   }
   if (property == Slice("iamdb.approximate-memory-usage")) {
     uint64_t total = block_cache_->usage();
+    if (compressed_block_cache_ != nullptr) {
+      total += compressed_block_cache_->usage();
+    }
     {
       auto view = read_view_.Acquire();
       total += view->mem->ApproximateMemoryUsage();
@@ -922,6 +951,25 @@ DbStats DBImpl::GetStats() {
   stats.cache_usage = block_cache_->usage();
   stats.cache_hits = block_cache_->hits();
   stats.cache_misses = block_cache_->misses();
+  stats.compress_input_bytes =
+      compression_stats_.input_bytes.load(std::memory_order_relaxed);
+  stats.compress_stored_bytes =
+      compression_stats_.stored_bytes.load(std::memory_order_relaxed);
+  stats.compress_columnar_blocks =
+      compression_stats_.columnar_blocks.load(std::memory_order_relaxed);
+  stats.compress_lz_blocks =
+      compression_stats_.lz_blocks.load(std::memory_order_relaxed);
+  stats.compress_raw_fallback_blocks =
+      compression_stats_.raw_fallback_blocks.load(std::memory_order_relaxed);
+  stats.decompressed_blocks =
+      compression_stats_.decompressed_blocks.load(std::memory_order_relaxed);
+  stats.decompress_micros =
+      compression_stats_.decompress_micros.load(std::memory_order_relaxed);
+  if (compressed_block_cache_ != nullptr) {
+    stats.compressed_cache_usage = compressed_block_cache_->usage();
+    stats.compressed_cache_hits = compressed_block_cache_->hits();
+    stats.compressed_cache_misses = compressed_block_cache_->misses();
+  }
   stats.stall_micros = stall_micros_.load(std::memory_order_relaxed);
   stats.io = io_stats_.Snapshot();
   stats.flush_queue_depth = pool_->QueueDepth(ThreadPool::Lane::kHigh);

@@ -20,6 +20,7 @@
 #include "env/counting_env.h"
 #include "memtable/memtable.h"
 #include "table/cache.h"
+#include "table/compressor.h"
 #include "util/published_ptr.h"
 #include "util/rate_limiter.h"
 #include "util/thread_pool.h"
@@ -76,6 +77,8 @@ class DBImpl final : public DB {
   const InternalKeyComparator* icmp() const { return &icmp_; }
   AmpStats* amp_stats_mutable() { return &amp_stats_; }
   LruCache* block_cache() { return block_cache_.get(); }
+  // Compressed-block tier; nullptr when compressed_cache_capacity == 0.
+  LruCache* compressed_block_cache() { return compressed_block_cache_.get(); }
 
   std::mutex& mutex() { return mutex_; }
   MemTable* imm() { return imm_; }
@@ -135,6 +138,8 @@ class DBImpl final : public DB {
   std::unique_ptr<CountingEnv> counting_env_;
   AmpStats amp_stats_;
   std::unique_ptr<LruCache> block_cache_;
+  std::unique_ptr<LruCache> compressed_block_cache_;  // tier 2; may be null
+  CompressionStats compression_stats_;
   InternalKeyComparator icmp_;
 
   // mutex_ serializes the WRITE side only: the writer queue, memtable

@@ -81,6 +81,16 @@ DbStats& operator+=(DbStats& lhs, const DbStats& rhs) {
       std::max(lhs.server_output_buffer_hwm, rhs.server_output_buffer_hwm);
   lhs.server_backpressure_stalls += rhs.server_backpressure_stalls;
   lhs.server_accept_errors += rhs.server_accept_errors;
+  lhs.compress_input_bytes += rhs.compress_input_bytes;
+  lhs.compress_stored_bytes += rhs.compress_stored_bytes;
+  lhs.compress_columnar_blocks += rhs.compress_columnar_blocks;
+  lhs.compress_lz_blocks += rhs.compress_lz_blocks;
+  lhs.compress_raw_fallback_blocks += rhs.compress_raw_fallback_blocks;
+  lhs.decompressed_blocks += rhs.decompressed_blocks;
+  lhs.decompress_micros += rhs.decompress_micros;
+  lhs.compressed_cache_usage += rhs.compressed_cache_usage;
+  lhs.compressed_cache_hits += rhs.compressed_cache_hits;
+  lhs.compressed_cache_misses += rhs.compressed_cache_misses;
   return lhs;
 }
 

@@ -172,7 +172,14 @@ struct Options {
   bool greedy_compaction = true;
 
   // Block cache capacity; models the memory available for data blocks.
+  // Entries are charged at uncompressed (resident) size.
   uint64_t block_cache_capacity = 64ull << 20;
+
+  // Capacity of the compressed-block cache tier (0 = tier off).  Holds
+  // still-compressed block bytes (charged at stored size) so an
+  // uncompressed-tier miss decompresses from memory instead of re-reading
+  // the device.  Only useful when table.compression is enabled.
+  uint64_t compressed_cache_capacity = 0;
 
   // WAL fsync on every write batch (benchmarks follow the paper and leave
   // this off; crash tests turn it on).

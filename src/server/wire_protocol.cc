@@ -296,9 +296,20 @@ enum StatsTag : uint32_t {
   kTagPacerIngestRate = 30,
   kTagPacerRetunes = 31,
   kTagRateLimiterPacedWallMicros = 32,
+  // Per-block compression gauges (format v2).
+  kTagCompressInputBytes = 33,
+  kTagCompressStoredBytes = 34,
+  kTagCompressColumnarBlocks = 35,
+  kTagCompressLzBlocks = 36,
+  kTagCompressRawFallbackBlocks = 37,
+  kTagDecompressedBlocks = 38,
+  kTagDecompressMicros = 39,
+  kTagCompressedCacheUsage = 40,
+  kTagCompressedCacheHits = 41,
+  kTagCompressedCacheMisses = 42,
 };
 
-static_assert(kTagRateLimiterPacedWallMicros == kMaxDbStatsTag,
+static_assert(kTagCompressedCacheMisses == kMaxDbStatsTag,
               "bump wire::kMaxDbStatsTag when adding a StatsTag");
 
 void PutField(std::string* dst, uint32_t tag, const std::string& bytes) {
@@ -398,6 +409,28 @@ void EncodeDbStats(const DbStats& stats, std::string* dst) {
     PutU64Field(dst, kTagServerBackpressureStalls,
                 stats.server_backpressure_stalls);
     PutU64Field(dst, kTagServerAcceptErrors, stats.server_accept_errors);
+  }
+  // Compression tags, omitted as a group when compression never engaged so
+  // a compression-off snapshot keeps its historical byte layout.
+  if (stats.compress_input_bytes != 0 || stats.compress_stored_bytes != 0 ||
+      stats.compress_columnar_blocks != 0 || stats.compress_lz_blocks != 0 ||
+      stats.compress_raw_fallback_blocks != 0 ||
+      stats.decompressed_blocks != 0 || stats.decompress_micros != 0 ||
+      stats.compressed_cache_usage != 0 || stats.compressed_cache_hits != 0 ||
+      stats.compressed_cache_misses != 0) {
+    PutU64Field(dst, kTagCompressInputBytes, stats.compress_input_bytes);
+    PutU64Field(dst, kTagCompressStoredBytes, stats.compress_stored_bytes);
+    PutU64Field(dst, kTagCompressColumnarBlocks,
+                stats.compress_columnar_blocks);
+    PutU64Field(dst, kTagCompressLzBlocks, stats.compress_lz_blocks);
+    PutU64Field(dst, kTagCompressRawFallbackBlocks,
+                stats.compress_raw_fallback_blocks);
+    PutU64Field(dst, kTagDecompressedBlocks, stats.decompressed_blocks);
+    PutU64Field(dst, kTagDecompressMicros, stats.decompress_micros);
+    PutU64Field(dst, kTagCompressedCacheUsage, stats.compressed_cache_usage);
+    PutU64Field(dst, kTagCompressedCacheHits, stats.compressed_cache_hits);
+    PutU64Field(dst, kTagCompressedCacheMisses,
+                stats.compressed_cache_misses);
   }
 }
 
@@ -524,6 +557,36 @@ bool DecodeDbStats(Slice payload, DbStats* stats) {
         break;
       case kTagRateLimiterPacedWallMicros:
         if (!get_u64(&stats->rate_limiter_paced_wall_micros)) return false;
+        break;
+      case kTagCompressInputBytes:
+        if (!get_u64(&stats->compress_input_bytes)) return false;
+        break;
+      case kTagCompressStoredBytes:
+        if (!get_u64(&stats->compress_stored_bytes)) return false;
+        break;
+      case kTagCompressColumnarBlocks:
+        if (!get_u64(&stats->compress_columnar_blocks)) return false;
+        break;
+      case kTagCompressLzBlocks:
+        if (!get_u64(&stats->compress_lz_blocks)) return false;
+        break;
+      case kTagCompressRawFallbackBlocks:
+        if (!get_u64(&stats->compress_raw_fallback_blocks)) return false;
+        break;
+      case kTagDecompressedBlocks:
+        if (!get_u64(&stats->decompressed_blocks)) return false;
+        break;
+      case kTagDecompressMicros:
+        if (!get_u64(&stats->decompress_micros)) return false;
+        break;
+      case kTagCompressedCacheUsage:
+        if (!get_u64(&stats->compressed_cache_usage)) return false;
+        break;
+      case kTagCompressedCacheHits:
+        if (!get_u64(&stats->compressed_cache_hits)) return false;
+        break;
+      case kTagCompressedCacheMisses:
+        if (!get_u64(&stats->compressed_cache_misses)) return false;
         break;
       default:
         break;  // forward compatibility: skip unknown field

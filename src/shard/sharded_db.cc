@@ -189,6 +189,12 @@ Status ShardedDB::Open(const Options& options, const std::string& name,
   Options shard_options = options;
   shard_options.block_cache_capacity = std::max<uint64_t>(
       options.block_cache_capacity / map.num_shards, 1ull << 20);
+  if (options.compressed_cache_capacity > 0) {
+    // The compressed tier divides like the block cache; 0 stays 0 so the
+    // tier is only instantiated when asked for.
+    shard_options.compressed_cache_capacity = std::max<uint64_t>(
+        options.compressed_cache_capacity / map.num_shards, 1ull << 20);
+  }
   shard_options.background_threads = std::max(
       1, options.background_threads / static_cast<int>(map.num_shards));
 

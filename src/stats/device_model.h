@@ -3,6 +3,11 @@
 // 200GB SSD and 1.2TB 10k-RPM HDD: amplifications are measured exactly on
 // the real/in-memory filesystem, while throughput and latency *shape* come
 // from applying these profiles to the measured I/O stream.
+//
+// The byte counts fed in are *physical* (post-compression) bytes from
+// CountingEnv, so enabling a block codec (table/compressor.h) automatically
+// shows up here as fewer modeled transfer micros — no codec-specific terms
+// are needed in the profiles.
 #pragma once
 
 #include <cstdint>

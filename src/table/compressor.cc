@@ -1,0 +1,541 @@
+#include "table/compressor.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace iamdb {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// LZ codec: LZ4-flavoured token stream.
+//
+//   varint64 uncompressed_size
+//   sequence*:  token | literal-length ext* | literals
+//               [ offset(2B LE) | match-length ext* ]
+//
+// token = (literal_len nibble << 4) | (match_len - 4) nibble; a nibble of 15
+// is followed by extension bytes, each added to the length, ending at the
+// first byte != 255.  The final sequence carries literals only — the stream
+// simply ends after them.  Offsets are 1..65535 back into the output.
+
+constexpr size_t kLzMinMatch = 4;
+constexpr size_t kLzMaxOffset = 65535;
+constexpr int kLzHashBits = 13;
+
+inline uint32_t LzLoad32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t LzHash(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kLzHashBits);
+}
+
+void LzPutLengthExt(std::string* out, size_t v) {
+  while (v >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    v -= 255;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void LzEmitSequence(std::string* out, const char* literals, size_t lit_len,
+                    size_t offset, size_t match_len) {
+  const size_t match_code = match_len >= kLzMinMatch ? match_len - kLzMinMatch
+                                                     : 0;  // final: unused
+  const uint8_t lit_nibble = lit_len >= 15 ? 15 : static_cast<uint8_t>(lit_len);
+  const uint8_t match_nibble =
+      match_code >= 15 ? 15 : static_cast<uint8_t>(match_code);
+  out->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) LzPutLengthExt(out, lit_len - 15);
+  out->append(literals, lit_len);
+  if (match_len == 0) return;  // final literals-only sequence
+  out->push_back(static_cast<char>(offset & 0xff));
+  out->push_back(static_cast<char>((offset >> 8) & 0xff));
+  if (match_nibble == 15) LzPutLengthExt(out, match_code - 15);
+}
+
+// Reads a nibble's extension bytes; false on truncation.
+bool LzGetLengthExt(const char** p, const char* end, size_t* len) {
+  while (true) {
+    if (*p >= end) return false;
+    const uint8_t b = static_cast<uint8_t>(*(*p)++);
+    *len += b;
+    if (b != 255) return true;
+  }
+}
+
+class LzCompressor : public Compressor {
+ public:
+  CompressionType type() const override { return CompressionType::kLz; }
+  const char* name() const override { return "lz"; }
+
+  bool Compress(const Slice& input, std::string* output) const override {
+    output->clear();
+    const size_t n = input.size();
+    if (n > kMaxUncompressedBlockBytes) return false;
+    PutVarint64(output, n);
+    const char* base = input.data();
+    uint32_t table[1 << kLzHashBits] = {0};  // position + 1; 0 = empty
+
+    size_t pos = 0, anchor = 0;
+    while (pos + kLzMinMatch <= n) {
+      const uint32_t h = LzHash(LzLoad32(base + pos));
+      const uint32_t cand = table[h];
+      table[h] = static_cast<uint32_t>(pos) + 1;
+      if (cand != 0 && pos + 1 - cand <= kLzMaxOffset &&
+          LzLoad32(base + cand - 1) == LzLoad32(base + pos)) {
+        const size_t match_pos = cand - 1;
+        size_t len = kLzMinMatch;
+        while (pos + len < n && base[match_pos + len] == base[pos + len]) {
+          len++;
+        }
+        LzEmitSequence(output, base + anchor, pos - anchor, pos - match_pos,
+                       len);
+        pos += len;
+        anchor = pos;
+      } else {
+        pos++;
+      }
+    }
+    if (anchor < n || n == 0) {
+      LzEmitSequence(output, base + anchor, n - anchor, 0, 0);
+    }
+    return true;
+  }
+
+  Status Decompress(const Slice& input, std::string* output) const override {
+    output->clear();
+    const char* p = input.data();
+    const char* end = p + input.size();
+    uint64_t n = 0;
+    p = GetVarint64Ptr(p, end, &n);
+    if (p == nullptr) return Status::Corruption("lz: bad size prefix");
+    if (n > kMaxUncompressedBlockBytes) {
+      return Status::Corruption("lz: declared size too large");
+    }
+    output->reserve(n);
+    while (p < end) {
+      const uint8_t token = static_cast<uint8_t>(*p++);
+      size_t lit_len = token >> 4;
+      if (lit_len == 15 && !LzGetLengthExt(&p, end, &lit_len)) {
+        return Status::Corruption("lz: truncated literal length");
+      }
+      if (static_cast<size_t>(end - p) < lit_len) {
+        return Status::Corruption("lz: truncated literals");
+      }
+      if (output->size() + lit_len > n) {
+        return Status::Corruption("lz: literals exceed declared size");
+      }
+      output->append(p, lit_len);
+      p += lit_len;
+      if (p == end) break;  // final sequence carries no match
+
+      if (end - p < 2) return Status::Corruption("lz: truncated offset");
+      const size_t offset = static_cast<uint8_t>(p[0]) |
+                            (static_cast<size_t>(static_cast<uint8_t>(p[1]))
+                             << 8);
+      p += 2;
+      if (offset == 0 || offset > output->size()) {
+        return Status::Corruption("lz: offset out of range");
+      }
+      size_t match_len = token & 0xf;
+      if (match_len == 15 && !LzGetLengthExt(&p, end, &match_len)) {
+        return Status::Corruption("lz: truncated match length");
+      }
+      match_len += kLzMinMatch;
+      if (output->size() + match_len > n) {
+        return Status::Corruption("lz: match exceeds declared size");
+      }
+      // Byte-by-byte: matches may overlap their own output (offset < len).
+      size_t from = output->size() - offset;
+      for (size_t i = 0; i < match_len; i++) {
+        output->push_back((*output)[from + i]);
+      }
+    }
+    if (output->size() != n) {
+      return Status::Corruption("lz: size mismatch");
+    }
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Columnar codec.
+//
+// Parses the block's entry stream (shared | non_shared | value_len varints,
+// key suffix, value — table/block_builder.cc) plus the restart array, and
+// stores it column-wise:
+//
+//   varint64 uncompressed_size
+//   varint32 num_entries | varint32 num_restarts
+//   restart entry-indices as delta varints (not byte offsets — those are
+//     recomputed on decompress)
+//   flags byte (bit0: all values share one length)
+//   value length column (one varint, or one per entry)
+//   entry headers: (shared | non_shared) varint pairs
+//   varint64 key_bytes_len | concatenated key suffix bytes
+//   value column: varint32 mode (0 raw, 1 RLE) | varint64 encoded_len | bytes
+//
+// The value column concatenates all values, so RLE runs span records —
+// exactly the fixed-size YCSB-record shape this codec targets.  Compress
+// declines (returns false) on anything that does not parse as a well-formed
+// block, and Decompress rebuilds the original block byte-for-byte
+// (varints are canonical, restart offsets are a function of the entries).
+
+constexpr size_t kRleMinRun = 4;
+
+void RleEncode(const Slice& in, std::string* out) {
+  const char* p = in.data();
+  const char* end = p + in.size();
+  while (p < end) {
+    // Measure the run at p.
+    const char* q = p + 1;
+    while (q < end && *q == *p) q++;
+    const size_t run = static_cast<size_t>(q - p);
+    if (run >= kRleMinRun) {
+      PutVarint64(out, (static_cast<uint64_t>(run) << 1) | 1);
+      out->push_back(*p);
+      p = q;
+    } else {
+      // Literal segment: up to the start of the next long run.
+      const char* lit_end = q;
+      while (lit_end < end) {
+        const char* r = lit_end + 1;
+        while (r < end && *r == *lit_end) r++;
+        if (static_cast<size_t>(r - lit_end) >= kRleMinRun) break;
+        lit_end = r;
+      }
+      const size_t lit = static_cast<size_t>(lit_end - p);
+      PutVarint64(out, static_cast<uint64_t>(lit) << 1);
+      out->append(p, lit);
+      p = lit_end;
+    }
+  }
+}
+
+Status RleDecode(const char* p, const char* end, size_t expected,
+                 std::string* out) {
+  while (p < end) {
+    uint64_t header = 0;
+    p = GetVarint64Ptr(p, end, &header);
+    if (p == nullptr) return Status::Corruption("columnar: bad rle header");
+    const uint64_t len = header >> 1;
+    if (len == 0 || out->size() + len > expected) {
+      return Status::Corruption("columnar: rle length out of range");
+    }
+    if (header & 1) {
+      if (p >= end) return Status::Corruption("columnar: truncated rle run");
+      out->append(static_cast<size_t>(len), *p++);
+    } else {
+      if (static_cast<size_t>(end - p) < len) {
+        return Status::Corruption("columnar: truncated rle literals");
+      }
+      out->append(p, static_cast<size_t>(len));
+      p += len;
+    }
+  }
+  if (out->size() != expected) {
+    return Status::Corruption("columnar: rle size mismatch");
+  }
+  return Status::OK();
+}
+
+class ColumnarCompressor : public Compressor {
+ public:
+  CompressionType type() const override { return CompressionType::kColumnar; }
+  const char* name() const override { return "columnar"; }
+
+  bool Compress(const Slice& input, std::string* output) const override {
+    output->clear();
+    const size_t n = input.size();
+    if (n < 8 || n > kMaxUncompressedBlockBytes) return false;
+
+    const uint32_t num_restarts = DecodeFixed32(input.data() + n - 4);
+    if (num_restarts == 0 ||
+        static_cast<uint64_t>(num_restarts) * 4 + 4 > n) {
+      return false;
+    }
+    const size_t entries_end = n - 4 - static_cast<size_t>(num_restarts) * 4;
+
+    // Walk the entry stream, splitting into columns.
+    std::vector<uint32_t> entry_offsets;
+    std::string headers;      // (shared | non_shared) varint pairs
+    std::string value_lens;   // value_len varints (unless uniform)
+    std::string key_bytes;
+    std::string value_bytes;
+    uint32_t first_value_len = 0;
+    bool fixed_value_len = true;
+    const char* p = input.data();
+    const char* limit = input.data() + entries_end;
+    uint32_t num_entries = 0;
+    while (p < limit) {
+      entry_offsets.push_back(static_cast<uint32_t>(p - input.data()));
+      uint32_t shared = 0, non_shared = 0, value_len = 0;
+      p = GetVarint32Ptr(p, limit, &shared);
+      if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
+      if (p != nullptr) p = GetVarint32Ptr(p, limit, &value_len);
+      if (p == nullptr ||
+          static_cast<size_t>(limit - p) <
+              static_cast<size_t>(non_shared) + value_len) {
+        return false;  // not a well-formed block: store raw
+      }
+      PutVarint32(&headers, shared);
+      PutVarint32(&headers, non_shared);
+      if (num_entries == 0) {
+        first_value_len = value_len;
+      } else if (value_len != first_value_len) {
+        fixed_value_len = false;
+      }
+      PutVarint32(&value_lens, value_len);
+      key_bytes.append(p, non_shared);
+      p += non_shared;
+      value_bytes.append(p, value_len);
+      p += value_len;
+      num_entries++;
+    }
+    if (num_entries == 0) return false;
+
+    // Restart byte offsets must land exactly on entry boundaries; store
+    // them as entry indices so decompression can recompute the offsets.
+    std::vector<uint32_t> restart_indices;
+    restart_indices.reserve(num_restarts);
+    size_t scan = 0;
+    for (uint32_t i = 0; i < num_restarts; i++) {
+      const uint32_t restart_offset =
+          DecodeFixed32(input.data() + entries_end + static_cast<size_t>(i) * 4);
+      while (scan < entry_offsets.size() &&
+             entry_offsets[scan] < restart_offset) {
+        scan++;
+      }
+      if (scan >= entry_offsets.size() ||
+          entry_offsets[scan] != restart_offset) {
+        return false;
+      }
+      restart_indices.push_back(static_cast<uint32_t>(scan));
+    }
+
+    PutVarint64(output, n);
+    PutVarint32(output, num_entries);
+    PutVarint32(output, num_restarts);
+    uint32_t prev = 0;
+    for (size_t i = 0; i < restart_indices.size(); i++) {
+      PutVarint32(output, restart_indices[i] - prev);
+      prev = restart_indices[i];
+    }
+    output->push_back(fixed_value_len ? 1 : 0);
+    if (fixed_value_len) {
+      PutVarint32(output, first_value_len);
+    } else {
+      output->append(value_lens);
+    }
+    output->append(headers);
+    PutVarint64(output, key_bytes.size());
+    output->append(key_bytes);
+
+    std::string rle;
+    RleEncode(value_bytes, &rle);
+    if (rle.size() < value_bytes.size()) {
+      PutVarint32(output, 1);
+      PutVarint64(output, rle.size());
+      output->append(rle);
+    } else {
+      PutVarint32(output, 0);
+      PutVarint64(output, value_bytes.size());
+      output->append(value_bytes);
+    }
+    return true;
+  }
+
+  Status Decompress(const Slice& input, std::string* output) const override {
+    output->clear();
+    const char* p = input.data();
+    const char* end = p + input.size();
+    uint64_t n = 0;
+    uint32_t num_entries = 0, num_restarts = 0;
+    p = GetVarint64Ptr(p, end, &n);
+    if (p != nullptr) p = GetVarint32Ptr(p, end, &num_entries);
+    if (p != nullptr) p = GetVarint32Ptr(p, end, &num_restarts);
+    if (p == nullptr) return Status::Corruption("columnar: bad header");
+    if (n > kMaxUncompressedBlockBytes) {
+      return Status::Corruption("columnar: declared size too large");
+    }
+    if (num_entries == 0 || num_restarts == 0 ||
+        static_cast<uint64_t>(num_restarts) * 4 + 4 > n ||
+        static_cast<uint64_t>(num_entries) * 3 +
+                static_cast<uint64_t>(num_restarts) * 4 + 4 >
+            n) {
+      return Status::Corruption("columnar: implausible entry counts");
+    }
+
+    std::vector<uint32_t> restart_indices(num_restarts);
+    uint32_t prev = 0;
+    for (uint32_t i = 0; i < num_restarts; i++) {
+      uint32_t delta = 0;
+      p = GetVarint32Ptr(p, end, &delta);
+      if (p == nullptr) return Status::Corruption("columnar: bad restarts");
+      prev = (i == 0) ? delta : prev + delta;
+      if (prev >= num_entries || (i > 0 && delta == 0)) {
+        return Status::Corruption("columnar: restart index out of range");
+      }
+      restart_indices[i] = prev;
+    }
+
+    if (p >= end) return Status::Corruption("columnar: truncated flags");
+    const uint8_t flags = static_cast<uint8_t>(*p++);
+    if (flags > 1) return Status::Corruption("columnar: bad flags");
+    std::vector<uint32_t> value_lens(num_entries);
+    uint64_t value_total = 0;
+    if (flags & 1) {
+      uint32_t fixed = 0;
+      p = GetVarint32Ptr(p, end, &fixed);
+      if (p == nullptr) return Status::Corruption("columnar: bad value len");
+      for (uint32_t i = 0; i < num_entries; i++) value_lens[i] = fixed;
+      value_total = static_cast<uint64_t>(fixed) * num_entries;
+    } else {
+      for (uint32_t i = 0; i < num_entries; i++) {
+        p = GetVarint32Ptr(p, end, &value_lens[i]);
+        if (p == nullptr) return Status::Corruption("columnar: bad value len");
+        value_total += value_lens[i];
+      }
+    }
+    if (value_total > n) {
+      return Status::Corruption("columnar: values exceed declared size");
+    }
+
+    std::vector<std::pair<uint32_t, uint32_t>> headers(num_entries);
+    for (uint32_t i = 0; i < num_entries; i++) {
+      p = GetVarint32Ptr(p, end, &headers[i].first);
+      if (p != nullptr) p = GetVarint32Ptr(p, end, &headers[i].second);
+      if (p == nullptr) return Status::Corruption("columnar: bad entry header");
+    }
+
+    uint64_t key_len = 0;
+    p = GetVarint64Ptr(p, end, &key_len);
+    if (p == nullptr || static_cast<uint64_t>(end - p) < key_len ||
+        key_len > n) {
+      return Status::Corruption("columnar: truncated key column");
+    }
+    const char* keys = p;
+    p += key_len;
+
+    uint32_t value_mode = 0;
+    uint64_t value_enc_len = 0;
+    p = GetVarint32Ptr(p, end, &value_mode);
+    if (p != nullptr) p = GetVarint64Ptr(p, end, &value_enc_len);
+    if (p == nullptr || value_mode > 1 ||
+        static_cast<uint64_t>(end - p) != value_enc_len) {
+      return Status::Corruption("columnar: bad value column header");
+    }
+    std::string values;
+    if (value_mode == 1) {
+      values.reserve(value_total);
+      Status s = RleDecode(p, end, value_total, &values);
+      if (!s.ok()) return s;
+    } else {
+      if (value_enc_len != value_total) {
+        return Status::Corruption("columnar: value column size mismatch");
+      }
+      values.assign(p, value_enc_len);
+    }
+
+    // Rebuild the block byte-for-byte: entries, then the restart array.
+    output->reserve(n);
+    std::vector<uint32_t> restart_offsets(num_restarts);
+    size_t key_pos = 0, value_pos = 0, next_restart = 0;
+    for (uint32_t i = 0; i < num_entries; i++) {
+      while (next_restart < num_restarts && restart_indices[next_restart] == i) {
+        restart_offsets[next_restart] = static_cast<uint32_t>(output->size());
+        next_restart++;
+      }
+      const uint32_t non_shared = headers[i].second;
+      const uint32_t value_len = value_lens[i];
+      if (key_pos + non_shared > key_len) {
+        return Status::Corruption("columnar: key column exhausted");
+      }
+      PutVarint32(output, headers[i].first);
+      PutVarint32(output, non_shared);
+      PutVarint32(output, value_len);
+      output->append(keys + key_pos, non_shared);
+      key_pos += non_shared;
+      output->append(values, value_pos, value_len);
+      value_pos += value_len;
+      if (output->size() > n) {
+        return Status::Corruption("columnar: entries exceed declared size");
+      }
+    }
+    if (key_pos != key_len || value_pos != values.size() ||
+        next_restart != num_restarts) {
+      return Status::Corruption("columnar: column size mismatch");
+    }
+    for (uint32_t i = 0; i < num_restarts; i++) {
+      PutFixed32(output, restart_offsets[i]);
+    }
+    PutFixed32(output, num_restarts);
+    if (output->size() != n) {
+      return Status::Corruption("columnar: size mismatch");
+    }
+    return Status::OK();
+  }
+};
+
+const LzCompressor kLzCompressor;
+const ColumnarCompressor kColumnarCompressor;
+
+}  // namespace
+
+const Compressor* GetCompressor(CompressionType type) {
+  switch (type) {
+    case CompressionType::kNone:
+      return nullptr;
+    case CompressionType::kColumnar:
+      return &kColumnarCompressor;
+    case CompressionType::kLz:
+      return &kLzCompressor;
+  }
+  return nullptr;
+}
+
+Status DecompressBlock(CompressionType type, const Slice& stored,
+                       std::string* contents) {
+  if (type == CompressionType::kNone) {
+    contents->assign(stored.data(), stored.size());
+    return Status::OK();
+  }
+  const Compressor* compressor = GetCompressor(type);
+  if (compressor == nullptr) {
+    return Status::Corruption("unknown block compression type");
+  }
+  return compressor->Decompress(stored, contents);
+}
+
+const char* CompressionTypeName(CompressionType type) {
+  switch (type) {
+    case CompressionType::kNone:
+      return "none";
+    case CompressionType::kColumnar:
+      return "columnar";
+    case CompressionType::kLz:
+      return "lz";
+  }
+  return "unknown";
+}
+
+bool ParseCompressionType(const std::string& name, CompressionType* type) {
+  if (name == "none" || name == "raw") {
+    *type = CompressionType::kNone;
+  } else if (name == "columnar") {
+    *type = CompressionType::kColumnar;
+  } else if (name == "lz") {
+    *type = CompressionType::kLz;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace iamdb

@@ -1,0 +1,90 @@
+// Pluggable per-block compression (format v2, docs/FORMAT.md).
+//
+// Two built-in codecs:
+//  * kColumnar — splits a prefix-compressed data block into columns
+//    (entry headers | key bytes | value bytes) and run-length-encodes the
+//    value column.  Specialized for fixed-size YCSB-style records, where
+//    the value column dominates and compresses independently of the
+//    restart-prefixed keys (the rose-LSM observation).  Decompression
+//    rebuilds the original block byte-for-byte.
+//  * kLz — general-purpose LZ77 byte codec (LZ4-flavoured token stream)
+//    for arbitrary block contents.
+//
+// Compress() may decline (returns false) when the input does not fit the
+// codec's model; the caller then stores the block raw with a kNone tag.
+// Decompress() is strict: every length is bounds-checked against both the
+// encoded stream and the declared uncompressed size, and any mismatch —
+// truncation, over-declared lengths, trailing garbage — returns
+// Status::Corruption without over-reading.  (Bit flips are normally caught
+// earlier by the block CRC, which covers payload + type tag.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "table/table_options.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace iamdb {
+
+// Upper bound a decoder accepts for the declared uncompressed size.  The
+// builder never compresses blocks larger than this, so a bigger declared
+// size is corruption, not data.
+constexpr uint64_t kMaxUncompressedBlockBytes = 1ull << 27;  // 128MB
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual CompressionType type() const = 0;
+  virtual const char* name() const = 0;
+
+  // Encodes `input` into *output (cleared first).  Returns false when the
+  // input does not fit the codec's model (the caller stores raw); a true
+  // return does NOT imply the output is smaller — the caller applies the
+  // ratio threshold.
+  virtual bool Compress(const Slice& input, std::string* output) const = 0;
+
+  // Exact inverse of Compress.  *output (cleared first) receives the
+  // original bytes; any malformed input yields Corruption.
+  virtual Status Decompress(const Slice& input, std::string* output) const = 0;
+};
+
+// Singleton codec for `type`; nullptr for kNone.
+const Compressor* GetCompressor(CompressionType type);
+
+// Dispatches to the right codec (kNone copies through).  Corruption on an
+// unknown type.
+Status DecompressBlock(CompressionType type, const Slice& stored,
+                       std::string* contents);
+
+// "none" / "columnar" / "lz" (for flags and stats output).
+const char* CompressionTypeName(CompressionType type);
+bool ParseCompressionType(const std::string& name, CompressionType* type);
+
+// A still-compressed block as held by the compressed cache tier.
+struct CompressedBlock {
+  std::string data;  // stored payload (no type tag, no CRC)
+  CompressionType type = CompressionType::kNone;
+};
+
+// Shared counters, aggregated into DbStats (core/db.h).  One instance per
+// DB, pointed at by TableOptions::compression_stats.
+struct CompressionStats {
+  // Uncompressed bytes presented to a codec at build time, and the bytes
+  // actually stored for those same blocks (compressed or raw-fallback).
+  std::atomic<uint64_t> input_bytes{0};
+  std::atomic<uint64_t> stored_bytes{0};
+  // Blocks written per outcome; raw_fallback counts blocks the codec
+  // declined or that missed the ratio threshold.
+  std::atomic<uint64_t> columnar_blocks{0};
+  std::atomic<uint64_t> lz_blocks{0};
+  std::atomic<uint64_t> raw_fallback_blocks{0};
+  // Read-side work.
+  std::atomic<uint64_t> decompressed_blocks{0};
+  std::atomic<uint64_t> decompress_micros{0};
+};
+
+}  // namespace iamdb

@@ -33,7 +33,7 @@ void MSTableTrailer::EncodeTo(std::string* dst) const {
   PutFixed64(dst, meta_handle.offset());
   PutFixed64(dst, meta_handle.size());
   PutFixed32(dst, seq_count);
-  PutFixed64(dst, kMagic);
+  PutFixed64(dst, format_version >= kFormatVersion2 ? kMagicV2 : kMagic);
   uint32_t crc = crc32c::Value(dst->data() + dst->size() - (kSize - 4),
                                kSize - 4);
   PutFixed32(dst, crc32c::Mask(crc));
@@ -43,7 +43,13 @@ Status MSTableTrailer::DecodeFrom(const Slice& input) {
   if (input.size() < kSize) return Status::Corruption("trailer too short");
   const char* p = input.data() + input.size() - kSize;
   uint64_t magic = DecodeFixed64(p + 28);
-  if (magic != kMagic) return Status::Corruption("bad table magic");
+  if (magic == kMagic) {
+    format_version = kFormatVersion1;
+  } else if (magic == kMagicV2) {
+    format_version = kFormatVersion2;
+  } else {
+    return Status::Corruption("bad table magic");
+  }
   uint32_t expected = crc32c::Unmask(DecodeFixed32(p + 36));
   uint32_t actual = crc32c::Value(p, kSize - 4);
   if (expected != actual) return Status::Corruption("trailer checksum");
@@ -55,39 +61,66 @@ Status MSTableTrailer::DecodeFrom(const Slice& input) {
 }
 
 Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
-                         bool verify_checksums, std::string* contents) {
+                         bool verify_checksums, uint32_t format_version,
+                         std::string* contents, CompressionType* type) {
   const size_t n = static_cast<size_t>(handle.size());
+  const size_t trailer = static_cast<size_t>(BlockTrailerSize(format_version));
+  *type = CompressionType::kNone;
   contents->clear();
-  contents->resize(n + 4);
+  contents->resize(n + trailer);
   Slice result;
-  Status s = file->Read(handle.offset(), n + 4, &result, contents->data());
+  Status s =
+      file->Read(handle.offset(), n + trailer, &result, contents->data());
   if (!s.ok()) return s;
-  if (result.size() != n + 4) {
+  if (result.size() != n + trailer) {
     return Status::Corruption("truncated block read");
   }
+  // The CRC covers payload + type tag (v2) or bare contents (v1).
+  const size_t crc_covered = n + trailer - 4;
   if (verify_checksums) {
-    const uint32_t expected = crc32c::Unmask(DecodeFixed32(result.data() + n));
-    const uint32_t actual = crc32c::Value(result.data(), n);
+    const uint32_t expected =
+        crc32c::Unmask(DecodeFixed32(result.data() + crc_covered));
+    const uint32_t actual = crc32c::Value(result.data(), crc_covered);
     if (expected != actual) {
       return Status::Corruption("block checksum mismatch");
     }
+  }
+  if (format_version >= kFormatVersion2) {
+    const uint8_t tag = static_cast<uint8_t>(result.data()[n]);
+    if (tag > static_cast<uint8_t>(CompressionType::kLz)) {
+      return Status::Corruption("unknown block compression tag");
+    }
+    *type = static_cast<CompressionType>(tag);
   }
   // The read may have landed elsewhere (mmap-style envs return internal
   // pointers); normalize into *contents.
   if (result.data() != contents->data()) {
     contents->assign(result.data(), n);
   } else {
-    contents->resize(n);  // strip crc
+    contents->resize(n);  // strip tag + crc
   }
   return Status::OK();
 }
 
 Status WriteBlock(WritableFile* file, uint64_t offset, const Slice& contents,
+                  uint32_t format_version, CompressionType type,
                   BlockHandle* handle) {
   handle->set_offset(offset);
   handle->set_size(contents.size());
   Status s = file->Append(contents);
   if (!s.ok()) return s;
+  if (format_version >= kFormatVersion2) {
+    char trailer[5];
+    trailer[0] = static_cast<char>(type);
+    uint32_t crc = crc32c::Value(contents.data(), contents.size());
+    crc = crc32c::Extend(crc, trailer, 1);
+    EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+    return file->Append(Slice(trailer, 5));
+  }
+  // v1 framing carries no type tag; compressed payloads are a v2 feature.
+  if (type != CompressionType::kNone) {
+    return Status::InvalidArgument("compressed block in v1 table");
+  }
   char trailer[4];
   EncodeFixed32(trailer, crc32c::Mask(crc32c::Value(contents.data(),
                                                     contents.size())));

@@ -1,8 +1,13 @@
 // On-disk physical format shared by all tables.
 //
-// Every block (data, index, bloom, footer payloads) is stored as
-//   contents | crc32c(contents) (fixed32, masked)
-// and addressed by a BlockHandle {offset, size-of-contents}.
+// Block framing by format version (the version is whole-file, recorded via
+// the trailer magic):
+//   v1:  contents | crc32c(contents) (fixed32, masked)
+//   v2:  payload | type(1B) | crc32c(payload|type) (fixed32, masked)
+// addressed by a BlockHandle {offset, size-of-stored-payload}.  The v2 type
+// byte is the block's CompressionType (table_options.h): kNone for raw
+// bytes (all metadata blocks, and data blocks that fell back to raw),
+// kColumnar/kLz for payloads that decompress to the logical block.
 //
 // MSTable file layout (the paper's Multiple Sequence Table, Sec 4.1):
 //
@@ -26,11 +31,24 @@
 #include <vector>
 
 #include "env/env.h"
+#include "table/table_options.h"
 #include "util/coding.h"
 #include "util/slice.h"
 #include "util/status.h"
 
 namespace iamdb {
+
+// Table format versions.  v1 files (and files appended to v1 files) keep
+// the 4-byte block trailer and raw blocks; new files are written v2.
+constexpr uint32_t kFormatVersion1 = 1;
+constexpr uint32_t kFormatVersion2 = 2;
+constexpr uint32_t kCurrentFormatVersion = kFormatVersion2;
+
+// Bytes following a block's stored payload: the masked CRC, plus the
+// one-byte compression-type tag from v2 on.
+inline uint64_t BlockTrailerSize(uint32_t format_version) {
+  return format_version >= kFormatVersion2 ? 5 : 4;
+}
 
 class BlockHandle {
  public:
@@ -75,26 +93,34 @@ struct SequenceMeta {
 //   region_start | meta_handle (2 fixed64) | seq_count | magic | crc
 // region_start is the file offset where this metadata region begins, so a
 // reader fetches the whole clustered metadata with one contiguous read.
+// The magic doubles as the format version: kMagic marks a v1 file (4-byte
+// block trailers, raw blocks), kMagicV2 a v2 file (type-tagged framing).
 struct MSTableTrailer {
   uint64_t region_start = 0;
   BlockHandle meta_handle;  // the descriptor block (list of SequenceMeta)
   uint32_t seq_count = 0;
+  uint32_t format_version = kCurrentFormatVersion;
 
   static constexpr size_t kSize = 8 + 8 + 8 + 4 + 8 + 4;
   static constexpr uint64_t kMagic = 0x1a4d5462'69616d64ull;  // "iamdbMT"-ish
+  static constexpr uint64_t kMagicV2 = 0x2a4d5462'69616d64ull;
 
   void EncodeTo(std::string* dst) const;
   Status DecodeFrom(const Slice& input);
 };
 
-// Reads the block named by `handle`, verifying its CRC.  On success,
-// *contents owns the bytes.
+// Reads the block named by `handle`, verifying its CRC, and reports the
+// stored payload (still compressed when *type != kNone — the caller
+// decompresses via DecompressBlock).  On success, *contents owns the bytes.
 Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
-                         bool verify_checksums, std::string* contents);
+                         bool verify_checksums, uint32_t format_version,
+                         std::string* contents, CompressionType* type);
 
-// Appends `contents | crc` to file and fills *handle (offset must be the
-// current end of file, tracked by the caller).
+// Appends `contents | [type] | crc` to file and fills *handle (offset must
+// be the current end of file, tracked by the caller).  v1 files require
+// type == kNone.
 Status WriteBlock(WritableFile* file, uint64_t offset, const Slice& contents,
+                  uint32_t format_version, CompressionType type,
                   BlockHandle* handle);
 
 }  // namespace iamdb

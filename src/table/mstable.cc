@@ -20,16 +20,21 @@ struct SequenceMetaInput {
 
 Status WriteMetadataRegion(WritableFile* file, uint64_t region_start,
                            std::vector<SequenceMetaInput>* sequences,
-                           uint64_t* meta_end, uint64_t* meta_bytes) {
+                           uint32_t format_version, uint64_t* meta_end,
+                           uint64_t* meta_bytes) {
+  // Metadata blocks are always stored raw (kNone); only data blocks carry
+  // compressed payloads.
+  const uint64_t trailer_size = BlockTrailerSize(format_version);
   uint64_t offset = region_start;
   for (auto& seq : *sequences) {
-    Status s = WriteBlock(file, offset, seq.index_contents,
-                          &seq.meta.index_handle);
+    Status s = WriteBlock(file, offset, seq.index_contents, format_version,
+                          CompressionType::kNone, &seq.meta.index_handle);
     if (!s.ok()) return s;
-    offset += seq.index_contents.size() + 4;
-    s = WriteBlock(file, offset, seq.bloom_contents, &seq.meta.bloom_handle);
+    offset += seq.index_contents.size() + trailer_size;
+    s = WriteBlock(file, offset, seq.bloom_contents, format_version,
+                   CompressionType::kNone, &seq.meta.bloom_handle);
     if (!s.ok()) return s;
-    offset += seq.bloom_contents.size() + 4;
+    offset += seq.bloom_contents.size() + trailer_size;
   }
 
   std::string descriptor;
@@ -38,11 +43,13 @@ Status WriteMetadataRegion(WritableFile* file, uint64_t region_start,
     seq.meta.EncodeTo(&descriptor);
   }
   MSTableTrailer trailer;
-  Status s = WriteBlock(file, offset, descriptor, &trailer.meta_handle);
+  Status s = WriteBlock(file, offset, descriptor, format_version,
+                        CompressionType::kNone, &trailer.meta_handle);
   if (!s.ok()) return s;
-  offset += descriptor.size() + 4;
+  offset += descriptor.size() + trailer_size;
 
   trailer.region_start = region_start;
+  trailer.format_version = format_version;
   trailer.seq_count = static_cast<uint32_t>(sequences->size());
   std::string trailer_bytes;
   trailer.EncodeTo(&trailer_bytes);
@@ -103,7 +110,9 @@ Status MSTableWriter::Add(const Slice& internal_key, const Slice& value) {
 }
 
 uint64_t MSTableWriter::EstimatedDataBytes() const {
-  return builder_->end_offset();
+  // Logical (uncompressed) bytes: compactions cut output nodes on this, and
+  // logical accounting keeps node boundaries identical across codecs.
+  return builder_->logical_bytes();
 }
 
 uint64_t MSTableWriter::NumEntries() const { return builder_->num_entries(); }
@@ -119,7 +128,8 @@ Status MSTableWriter::Finish(bool sync, MSTableBuildResult* result) {
                                         builder_->index_contents(),
                                         builder_->bloom_contents()});
   s = WriteMetadataRegion(file_.get(), builder_->end_offset(), &sequences,
-                          &result->meta_end, &result->meta_bytes);
+                          kCurrentFormatVersion, &result->meta_end,
+                          &result->meta_bytes);
   if (!s.ok()) return s;
   if (sync) {
     s = file_->Sync();
@@ -150,7 +160,12 @@ void MSTableWriter::Abandon() {
 MSTableAppender::MSTableAppender(Env* env, const TableOptions& options,
                                  std::string fname,
                                  const MSTableReader& existing)
-    : env_(env), options_(options), fname_(std::move(fname)) {
+    : env_(env),
+      options_(options),
+      fname_(std::move(fname)),
+      // Appends inherit the file's format version so one file never mixes
+      // framings: a v1 file appended today stays v1 (raw blocks only).
+      format_version_(existing.format_version()) {
   prior_.reserve(existing.seq_count());
   for (int i = 0; i < existing.seq_count(); i++) {
     const SequenceReader& seq = existing.sequence(i);
@@ -176,8 +191,8 @@ Status MSTableAppender::Open() {
   if (!s.ok()) return s;
   s = env_->NewAppendableFile(fname_, &file_);
   if (!s.ok()) return s;
-  builder_ =
-      std::make_unique<SequenceBuilder>(options_, file_.get(), start_offset_);
+  builder_ = std::make_unique<SequenceBuilder>(options_, file_.get(),
+                                               start_offset_, format_version_);
   return Status::OK();
 }
 
@@ -204,7 +219,8 @@ Status MSTableAppender::Finish(bool sync, MSTableBuildResult* result) {
                                         builder_->bloom_contents()});
 
   s = WriteMetadataRegion(file_.get(), builder_->end_offset(), &sequences,
-                          &result->meta_end, &result->meta_bytes);
+                          format_version_, &result->meta_end,
+                          &result->meta_bytes);
   if (!s.ok()) return s;
   if (sync) {
     s = file_->Sync();
@@ -298,6 +314,7 @@ Status MSTableReader::Open(Env* env, const TableOptions& options,
 
   auto result = std::shared_ptr<MSTableReader>(new MSTableReader());
   result->cmp_ = cmp;
+  result->format_version_ = trailer.format_version;
   InternalKeyComparator icmp;
   for (uint32_t i = 0; i < count; i++) {
     SequenceMeta meta;
@@ -321,7 +338,8 @@ Status MSTableReader::Open(Env* env, const TableOptions& options,
     }
     result->sequences_.push_back(std::make_unique<SequenceReader>(
         options, cmp, file.get(), file_number, std::move(meta),
-        index_contents.ToString(), bloom_contents.ToString()));
+        index_contents.ToString(), bloom_contents.ToString(),
+        trailer.format_version));
   }
   result->file_ = std::move(file);
   *reader = std::move(result);

@@ -99,6 +99,7 @@ class MSTableAppender {
   Env* env_;
   const TableOptions options_;
   std::string fname_;
+  uint32_t format_version_;  // inherited from the existing file
   std::vector<PriorSequence> prior_;
   uint64_t prior_data_bytes_ = 0;
   uint64_t prior_entries_ = 0;
@@ -123,6 +124,9 @@ class MSTableReader {
   MSTableReader& operator=(const MSTableReader&) = delete;
 
   int seq_count() const { return static_cast<int>(sequences_.size()); }
+  // Format version from the trailer magic; appenders inherit it so a file
+  // never mixes block framings.
+  uint32_t format_version() const { return format_version_; }
   // i = 0 is the OLDEST sequence; seq_count()-1 the newest.
   const SequenceReader& sequence(int i) const { return *sequences_[i]; }
 
@@ -149,6 +153,7 @@ class MSTableReader {
   MSTableReader() = default;
 
   const InternalKeyComparator* cmp_ = nullptr;
+  uint32_t format_version_ = kCurrentFormatVersion;
   std::unique_ptr<RandomAccessFile> file_;
   std::vector<std::unique_ptr<SequenceReader>> sequences_;
   uint64_t total_data_bytes_ = 0;

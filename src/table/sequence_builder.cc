@@ -7,12 +7,17 @@
 namespace iamdb {
 
 SequenceBuilder::SequenceBuilder(const TableOptions& options,
-                                 WritableFile* file, uint64_t start_offset)
+                                 WritableFile* file, uint64_t start_offset,
+                                 uint32_t format_version)
     : options_(options),
       bloom_policy_(options.bloom_bits_per_key),
       file_(file),
       start_offset_(start_offset),
       offset_(start_offset),
+      format_version_(format_version),
+      compressor_(format_version >= kFormatVersion2
+                      ? GetCompressor(options.compression)
+                      : nullptr),
       data_block_(options.block_restart_interval),
       index_block_(1) {}
 
@@ -53,14 +58,47 @@ Status SequenceBuilder::Add(const Slice& internal_key, const Slice& value) {
 Status SequenceBuilder::FlushDataBlock() {
   if (data_block_.empty()) return Status::OK();
   Slice contents = data_block_.Finish();
+
+  // Compress, falling back to raw unless the block shrinks past the
+  // configured threshold (or the codec declines the input outright).
+  Slice stored = contents;
+  CompressionType stored_type = CompressionType::kNone;
+  if (compressor_ != nullptr) {
+    if (compressor_->Compress(contents, &compressed_scratch_) &&
+        static_cast<double>(compressed_scratch_.size()) <=
+            static_cast<double>(contents.size()) *
+                options_.compression_max_stored_fraction) {
+      stored = Slice(compressed_scratch_);
+      stored_type = compressor_->type();
+    }
+    if (options_.compression_stats != nullptr) {
+      CompressionStats* cs = options_.compression_stats;
+      cs->input_bytes.fetch_add(contents.size(), std::memory_order_relaxed);
+      cs->stored_bytes.fetch_add(stored.size(), std::memory_order_relaxed);
+      switch (stored_type) {
+        case CompressionType::kColumnar:
+          cs->columnar_blocks.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case CompressionType::kLz:
+          cs->lz_blocks.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case CompressionType::kNone:
+          cs->raw_fallback_blocks.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+  }
+
   // Pace before issuing the write; FlushDataBlock always runs in an
   // unlocked I/O section (never under the DB mutex), which Request requires.
   if (options_.rate_limiter != nullptr) {
-    options_.rate_limiter->Request(contents.size());
+    options_.rate_limiter->Request(stored.size());
   }
-  Status s = WriteBlock(file_, offset_, contents, &pending_handle_);
+  Status s = WriteBlock(file_, offset_, stored, format_version_, stored_type,
+                        &pending_handle_);
   if (!s.ok()) return s;
-  offset_ += contents.size() + 4;  // + crc
+  offset_ += stored.size() + BlockTrailerSize(format_version_);
+  logical_bytes_ += contents.size() + BlockTrailerSize(format_version_);
   data_block_.Reset();
   pending_index_entry_ = true;
   return Status::OK();
@@ -98,7 +136,11 @@ Status SequenceBuilder::Finish() {
   bloom_contents_.clear();
   bloom_policy_.CreateFilter(keys, &bloom_contents_);
 
-  meta_.data_bytes = offset_ - start_offset_;
+  // Logical (uncompressed) bytes, not the physical offset delta: engines
+  // size and split nodes on data_bytes, and logical accounting keeps those
+  // decisions — hence tree shape and iamdb.tree-digest — identical across
+  // codec settings.  Physical footprint is meta_end (space_used_bytes).
+  meta_.data_bytes = logical_bytes_;
   return Status::OK();
 }
 

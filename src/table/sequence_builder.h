@@ -13,6 +13,7 @@
 #include "env/env.h"
 #include "table/block_builder.h"
 #include "table/bloom.h"
+#include "table/compressor.h"
 #include "table/format.h"
 #include "table/table_options.h"
 
@@ -22,8 +23,11 @@ class SequenceBuilder {
  public:
   // Writes data blocks to *file starting at file offset `start_offset`
   // (which must be the file's current end).  Neither pointer is owned.
+  // `format_version` selects the block framing; compression only applies
+  // from kFormatVersion2 on (appends to v1 files stay raw).
   SequenceBuilder(const TableOptions& options, WritableFile* file,
-                  uint64_t start_offset);
+                  uint64_t start_offset,
+                  uint32_t format_version = kCurrentFormatVersion);
 
   SequenceBuilder(const SequenceBuilder&) = delete;
   SequenceBuilder& operator=(const SequenceBuilder&) = delete;
@@ -40,6 +44,11 @@ class SequenceBuilder {
 
   uint64_t num_entries() const { return meta_.num_entries; }
   uint64_t end_offset() const { return offset_; }
+  // Uncompressed bytes emitted so far (block contents + per-block trailer,
+  // as if every block were stored raw).  SequenceMeta::data_bytes records
+  // this, keeping node-capacity decisions — and therefore tree shape —
+  // independent of the codec; physical footprint is tracked by meta_end.
+  uint64_t logical_bytes() const { return logical_bytes_; }
   const SequenceMeta& meta() const { return meta_; }
   SequenceMeta& mutable_meta() { return meta_; }
   Slice index_contents() const { return index_contents_; }
@@ -54,6 +63,10 @@ class SequenceBuilder {
   WritableFile* file_;
   uint64_t start_offset_;
   uint64_t offset_;
+  uint64_t logical_bytes_ = 0;
+  uint32_t format_version_;
+  const Compressor* compressor_;  // nullptr when writing raw
+  std::string compressed_scratch_;
 
   BlockBuilder data_block_;
   BlockBuilder index_block_;

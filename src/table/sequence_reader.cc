@@ -1,5 +1,8 @@
 #include "table/sequence_reader.h"
 
+#include <chrono>
+
+#include "table/compressor.h"
 #include "table/two_level_iterator.h"
 #include "util/rate_limiter.h"
 
@@ -9,12 +12,14 @@ SequenceReader::SequenceReader(const TableOptions& options,
                                const InternalKeyComparator* cmp,
                                RandomAccessFile* file, uint64_t file_number,
                                SequenceMeta meta, std::string index_contents,
-                               std::string bloom_contents)
+                               std::string bloom_contents,
+                               uint32_t format_version)
     : options_(options),
       cmp_(cmp),
       bloom_policy_(options.bloom_bits_per_key),
       file_(file),
       file_number_(file_number),
+      format_version_(format_version),
       meta_(std::move(meta)),
       index_contents_raw_(index_contents),  // keep a copy for appenders
       bloom_contents_(std::move(bloom_contents)),
@@ -33,18 +38,63 @@ std::shared_ptr<const Block> SequenceReader::ReadDataBlock(
     if (cached != nullptr) return cached;
   }
 
-  // Cache miss: pace the device read if the caller (a compaction) carries
-  // the background I/O budget.  Foreground ReadOptions leave this null.
-  if (options.rate_limiter != nullptr) {
-    options.rate_limiter->Request(handle.size());
+  // Uncompressed-tier miss: try the compressed tier before the device.
+  std::shared_ptr<const CompressedBlock> compressed;
+  if (options_.compressed_block_cache != nullptr) {
+    compressed =
+        CacheLookup<CompressedBlock>(*options_.compressed_block_cache, key);
   }
+
   std::string contents;
-  *s = ReadBlockContents(file_, handle,
-                         options.verify_checksums || options_.verify_checksums,
-                         &contents);
-  if (!s->ok()) return nullptr;
+  CompressionType type = CompressionType::kNone;
+  if (compressed != nullptr) {
+    type = compressed->type;
+  } else {
+    // Device read: pace it if the caller (a compaction) carries the
+    // background I/O budget.  Foreground ReadOptions leave this null.
+    if (options.rate_limiter != nullptr) {
+      options.rate_limiter->Request(handle.size() +
+                                    BlockTrailerSize(format_version_));
+    }
+    *s = ReadBlockContents(
+        file_, handle, options.verify_checksums || options_.verify_checksums,
+        format_version_, &contents, &type);
+    if (!s->ok()) return nullptr;
+    if (type != CompressionType::kNone &&
+        options_.compressed_block_cache != nullptr && options.fill_cache) {
+      auto stored = std::make_shared<CompressedBlock>();
+      stored->data = contents;  // copy: `contents` is decompressed below
+      stored->type = type;
+      // The compressed tier is charged at stored (on-disk) size.
+      options_.compressed_block_cache->Insert(key, std::move(stored),
+                                              contents.size());
+    }
+  }
+
+  if (type != CompressionType::kNone) {
+    const auto start = std::chrono::steady_clock::now();
+    std::string raw;
+    *s = DecompressBlock(
+        type, compressed != nullptr ? Slice(compressed->data) : Slice(contents),
+        &raw);
+    if (!s->ok()) return nullptr;
+    if (options_.compression_stats != nullptr) {
+      const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      options_.compression_stats->decompressed_blocks.fetch_add(
+          1, std::memory_order_relaxed);
+      options_.compression_stats->decompress_micros.fetch_add(
+          static_cast<uint64_t>(micros), std::memory_order_relaxed);
+    }
+    contents = std::move(raw);
+  }
+
   auto block = std::make_shared<const Block>(std::move(contents));
   if (options_.block_cache != nullptr && options.fill_cache) {
+    // Charge the uncompressed (resident) size, not the on-disk stored size:
+    // the cache models memory, and a decompressed block occupies its full
+    // logical size regardless of the codec.
     options_.block_cache->Insert(key, block, block->size());
   }
   return block;

@@ -21,10 +21,13 @@ namespace iamdb {
 class SequenceReader {
  public:
   // `file` must outlive the reader (owned by the MSTableReader).
+  // `format_version` comes from the table trailer and selects the block
+  // framing (v2 blocks carry a compression-type tag).
   SequenceReader(const TableOptions& options, const InternalKeyComparator* cmp,
                  RandomAccessFile* file, uint64_t file_number,
                  SequenceMeta meta, std::string index_contents,
-                 std::string bloom_contents);
+                 std::string bloom_contents,
+                 uint32_t format_version = kCurrentFormatVersion);
 
   SequenceReader(const SequenceReader&) = delete;
   SequenceReader& operator=(const SequenceReader&) = delete;
@@ -58,6 +61,7 @@ class SequenceReader {
   BloomFilterPolicy bloom_policy_;
   RandomAccessFile* file_;
   uint64_t file_number_;
+  uint32_t format_version_;
   SequenceMeta meta_;
   std::string index_contents_raw_;
   std::string bloom_contents_;

@@ -2,11 +2,21 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace iamdb {
 
 class LruCache;
 class RateLimiter;
+struct CompressionStats;
+
+// Per-block codec recorded in the one-byte type tag of format-v2 block
+// trailers (docs/FORMAT.md).  Values are on-disk and must not change.
+enum class CompressionType : uint8_t {
+  kNone = 0,      // raw block bytes (also the per-block fallback)
+  kColumnar = 1,  // column-split codec for fixed-size YCSB-style records
+  kLz = 2,        // general-purpose LZ77 byte codec
+};
 
 struct TableOptions {
   // Target uncompressed size of a data block (paper: records are
@@ -22,8 +32,30 @@ struct TableOptions {
   // Verify block CRCs on read.
   bool verify_checksums = true;
 
-  // Block cache, or nullptr to read through.  Not owned.
+  // Per-block codec for newly written data blocks.  Blocks that do not
+  // shrink enough (see compression_max_stored_fraction) are stored raw;
+  // metadata blocks are always raw.  Appends to a format-v1 file stay raw
+  // regardless, so one file never mixes framing versions.
+  CompressionType compression = CompressionType::kNone;
+
+  // A compressed block is kept only when stored_size <= uncompressed_size *
+  // this fraction; otherwise the block falls back to raw.  Saves decompress
+  // work on blocks that barely shrink.
+  double compression_max_stored_fraction = 0.875;
+
+  // Block cache, or nullptr to read through.  Not owned.  Entries are
+  // charged at their uncompressed (resident) size.
   LruCache* block_cache = nullptr;
+
+  // Second cache tier holding still-compressed block bytes (charged at
+  // stored size).  An uncompressed-tier miss that hits here decompresses
+  // from memory instead of re-reading the device.  nullptr = tier off.
+  // Not owned.
+  LruCache* compressed_block_cache = nullptr;
+
+  // Compression/decompression counters, shared across all tables of a DB
+  // (see stats in core/db.h).  Not owned; may be nullptr.
+  CompressionStats* compression_stats = nullptr;
 
   // Paces table-build writes (compaction/flush output) when non-null; the
   // priority comes from the calling thread (RateLimiter::ScopedPriority).

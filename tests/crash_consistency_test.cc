@@ -137,6 +137,9 @@ Options MakeOptions(const EngineConfig& cfg, Env* env) {
   options.leveled.l0_compaction_trigger = 2;
   options.block_cache_capacity = 1 << 20;
   options.background_threads = 1;
+  // IAMDB_TEST_COMPRESSION reruns the whole crash matrix with a block
+  // codec enabled; recovery must be byte-exact either way.
+  options.table.compression = test::TestCompression();
   return options;
 }
 

@@ -56,6 +56,16 @@ DbStats MakeStats(uint64_t base) {
   s.pacer_ingest_bytes_per_sec = 26 + base;
   s.pacer_retunes = 27 + base;
   s.rate_limiter_paced_wall_micros = 28 + base;
+  s.compress_input_bytes = 29 + base;
+  s.compress_stored_bytes = 31 + base;
+  s.compress_columnar_blocks = 32 + base;
+  s.compress_lz_blocks = 33 + base;
+  s.compress_raw_fallback_blocks = 34 + base;
+  s.decompressed_blocks = 35 + base;
+  s.decompress_micros = 36 + base;
+  s.compressed_cache_usage = 37 + base;
+  s.compressed_cache_hits = 38 + base;
+  s.compressed_cache_misses = 39 + base;
   return s;
 }
 
@@ -130,6 +140,47 @@ TEST(DbStatsCodecTest, Roundtrip) {
   EXPECT_EQ(out.pacer_retunes, in.pacer_retunes);
   EXPECT_EQ(out.rate_limiter_paced_wall_micros,
             in.rate_limiter_paced_wall_micros);
+  EXPECT_EQ(out.compress_input_bytes, in.compress_input_bytes);
+  EXPECT_EQ(out.compress_stored_bytes, in.compress_stored_bytes);
+  EXPECT_EQ(out.compress_columnar_blocks, in.compress_columnar_blocks);
+  EXPECT_EQ(out.compress_lz_blocks, in.compress_lz_blocks);
+  EXPECT_EQ(out.compress_raw_fallback_blocks, in.compress_raw_fallback_blocks);
+  EXPECT_EQ(out.decompressed_blocks, in.decompressed_blocks);
+  EXPECT_EQ(out.decompress_micros, in.decompress_micros);
+  EXPECT_EQ(out.compressed_cache_usage, in.compressed_cache_usage);
+  EXPECT_EQ(out.compressed_cache_hits, in.compressed_cache_hits);
+  EXPECT_EQ(out.compressed_cache_misses, in.compressed_cache_misses);
+}
+
+// A compression-off snapshot must keep its historical layout: the tags are
+// an omit-when-zero group, so old clients never see them unless a codec or
+// the compressed cache actually engaged.
+TEST(DbStatsCodecTest, CompressionTagsOmittedWhenIdle) {
+  DbStats s = MakeStats(1);
+  s.compress_input_bytes = 0;
+  s.compress_stored_bytes = 0;
+  s.compress_columnar_blocks = 0;
+  s.compress_lz_blocks = 0;
+  s.compress_raw_fallback_blocks = 0;
+  s.decompressed_blocks = 0;
+  s.decompress_micros = 0;
+  s.compressed_cache_usage = 0;
+  s.compressed_cache_hits = 0;
+  s.compressed_cache_misses = 0;
+  std::string encoded;
+  wire::EncodeDbStats(s, &encoded);
+  std::map<uint32_t, std::string> tags = TagsOf(encoded);
+  for (uint32_t tag = 33; tag <= 42; tag++) {
+    EXPECT_EQ(tags.count(tag), 0u) << "idle compression tag " << tag;
+  }
+  // A single nonzero member pulls the whole group in.
+  s.decompressed_blocks = 5;
+  encoded.clear();
+  wire::EncodeDbStats(s, &encoded);
+  tags = TagsOf(encoded);
+  for (uint32_t tag = 33; tag <= 42; tag++) {
+    EXPECT_EQ(tags.count(tag), 1u) << "active compression tag " << tag;
+  }
 }
 
 // Expected combination of two amp ratios, weighted by user bytes.
@@ -292,6 +343,47 @@ TEST(DbStatsAggregationTest, EveryTagHasAggregationSemantics) {
         EXPECT_EQ(sum.rate_limiter_paced_wall_micros,
                   a.rate_limiter_paced_wall_micros +
                       b.rate_limiter_paced_wall_micros);
+        break;
+      case 33:
+        EXPECT_EQ(sum.compress_input_bytes,
+                  a.compress_input_bytes + b.compress_input_bytes);
+        break;
+      case 34:
+        EXPECT_EQ(sum.compress_stored_bytes,
+                  a.compress_stored_bytes + b.compress_stored_bytes);
+        break;
+      case 35:
+        EXPECT_EQ(sum.compress_columnar_blocks,
+                  a.compress_columnar_blocks + b.compress_columnar_blocks);
+        break;
+      case 36:
+        EXPECT_EQ(sum.compress_lz_blocks,
+                  a.compress_lz_blocks + b.compress_lz_blocks);
+        break;
+      case 37:
+        EXPECT_EQ(sum.compress_raw_fallback_blocks,
+                  a.compress_raw_fallback_blocks +
+                      b.compress_raw_fallback_blocks);
+        break;
+      case 38:
+        EXPECT_EQ(sum.decompressed_blocks,
+                  a.decompressed_blocks + b.decompressed_blocks);
+        break;
+      case 39:
+        EXPECT_EQ(sum.decompress_micros,
+                  a.decompress_micros + b.decompress_micros);
+        break;
+      case 40:  // gauge across shards: usages sum
+        EXPECT_EQ(sum.compressed_cache_usage,
+                  a.compressed_cache_usage + b.compressed_cache_usage);
+        break;
+      case 41:
+        EXPECT_EQ(sum.compressed_cache_hits,
+                  a.compressed_cache_hits + b.compressed_cache_hits);
+        break;
+      case 42:
+        EXPECT_EQ(sum.compressed_cache_misses,
+                  a.compressed_cache_misses + b.compressed_cache_misses);
         break;
       default:
         ADD_FAILURE() << "tag " << tag

@@ -26,6 +26,7 @@ class FaultTest : public testing::TestWithParam<EngineType> {
     options.amt.fanout = 4;
     options.leveled.max_bytes_level1 = 96 << 10;
     options.leveled.target_file_size = 12 << 10;
+    options.table.compression = test::TestCompression();
     return options;
   }
 

@@ -35,6 +35,12 @@ class StressTest : public testing::TestWithParam<StressParam> {
     options.leveled.max_bytes_level1 = 48 << 10;
     options.leveled.target_file_size = 8 << 10;
     options.block_cache_capacity = 256 << 10;
+    // CI's TSAN compression cell sets IAMDB_TEST_COMPRESSION so concurrent
+    // readers hammer the decompress path and the compressed cache tier.
+    options.table.compression = test::TestCompression();
+    if (options.table.compression != CompressionType::kNone) {
+      options.compressed_cache_capacity = 256 << 10;
+    }
     return options;
   }
 

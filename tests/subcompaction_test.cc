@@ -131,6 +131,10 @@ Options SmallTreeOptions(const EngineConfig& config, Env* env) {
   options.amt.fanout = 4;
   options.leveled.max_bytes_level1 = 96 << 10;
   options.leveled.target_file_size = 12 << 10;
+  // The digest-equivalence tests below double as the codec check: with
+  // IAMDB_TEST_COMPRESSION set, sharded and single-threaded merges must
+  // still install identical trees over compressed tables.
+  options.table.compression = test::TestCompression();
   return options;
 }
 

@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "table/compressor.h"
+
 namespace iamdb {
 namespace test {
 
@@ -31,6 +33,20 @@ inline uint64_t TestSeed(uint64_t default_seed) {
 inline std::string SeedTrace(uint64_t seed) {
   return "seed=" + std::to_string(seed) +
          " (replay with IAMDB_TEST_SEED=" + std::to_string(seed) + ")";
+}
+
+// Block codec for the seeded fault/crash/equivalence matrices: setting
+//   IAMDB_TEST_COMPRESSION=columnar|lz
+// reruns the same histories with per-block compression enabled (CI's
+// sanitizer jobs add a compression cell this way).  Unset or unparseable
+// means raw blocks, the historical default.
+inline CompressionType TestCompression() {
+  CompressionType type = CompressionType::kNone;
+  const char* value = std::getenv("IAMDB_TEST_COMPRESSION");
+  if (value != nullptr && *value != '\0') {
+    ParseCompressionType(value, &type);
+  }
+  return type;
 }
 
 }  // namespace test

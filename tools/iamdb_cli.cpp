@@ -58,6 +58,29 @@ void PrintStats(const DbStats& stats) {
                 stats.pacer_rate_bytes_per_sec,
                 stats.pacer_ingest_bytes_per_sec, stats.pacer_retunes);
   }
+  if (stats.compress_input_bytes > 0) {
+    double ratio = stats.compress_stored_bytes > 0
+                       ? static_cast<double>(stats.compress_input_bytes) /
+                             static_cast<double>(stats.compress_stored_bytes)
+                       : 0.0;
+    std::printf("compression:       %" PRIu64 "B -> %" PRIu64
+                "B (%.2fx), blocks: %" PRIu64 " columnar / %" PRIu64
+                " lz / %" PRIu64 " raw\n",
+                stats.compress_input_bytes, stats.compress_stored_bytes, ratio,
+                stats.compress_columnar_blocks, stats.compress_lz_blocks,
+                stats.compress_raw_fallback_blocks);
+  }
+  if (stats.decompressed_blocks > 0) {
+    std::printf("decompress:        %" PRIu64 " blocks, %" PRIu64 "us\n",
+                stats.decompressed_blocks, stats.decompress_micros);
+  }
+  if (stats.compressed_cache_usage > 0 || stats.compressed_cache_hits > 0 ||
+      stats.compressed_cache_misses > 0) {
+    std::printf("compressed cache:  %" PRIu64 "B used, %" PRIu64
+                " hits, %" PRIu64 " misses\n",
+                stats.compressed_cache_usage, stats.compressed_cache_hits,
+                stats.compressed_cache_misses);
+  }
   if (stats.mixed_level > 0) {
     std::printf("mixed level:       m=%d k=%d\n", stats.mixed_level,
                 stats.mixed_level_k);

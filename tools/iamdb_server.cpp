@@ -5,7 +5,12 @@
 //                [--engine=iam|lsa|leveled] [--threads=4] [--shards=N]
 //                [--db_shards=N] [--bg_threads=N] [--subcompactions=N]
 //                [--rate_limit_mb=N] [--adaptive_pacing] [--cache_mb=64]
+//                [--compression=none|columnar|lz] [--compressed_cache_mb=N]
 //                [--sync_wal]
+//
+// --compression selects the per-block codec newly written tables use
+// (existing tables keep their recorded codec); --compressed_cache_mb
+// enables the compressed-block cache tier (0 = off).
 //
 // --adaptive_pacing replaces the fixed --rate_limit_mb budget with the
 // debt/ingest feedback controller (core/compaction_pacer.h); when both are
@@ -31,6 +36,7 @@
 #include "env/env.h"
 #include "server/server.h"
 #include "shard/sharded_db.h"
+#include "table/compressor.h"
 
 namespace {
 
@@ -53,6 +59,7 @@ int Usage(const char* argv0) {
                "[--engine=iam|lsa|leveled] [--threads=N] [--shards=N] "
                "[--db_shards=N] [--bg_threads=N] [--subcompactions=N] "
                "[--rate_limit_mb=N] [--adaptive_pacing] [--cache_mb=N] "
+               "[--compression=none|columnar|lz] [--compressed_cache_mb=N] "
                "[--sync_wal]\n",
                argv0);
   return 2;
@@ -97,6 +104,14 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "cache_mb", &v)) {
       db_options.block_cache_capacity =
           static_cast<uint64_t>(std::atoll(v.c_str())) << 20;
+    } else if (ParseFlag(argv[i], "compressed_cache_mb", &v)) {
+      db_options.compressed_cache_capacity =
+          static_cast<uint64_t>(std::atoll(v.c_str())) << 20;
+    } else if (ParseFlag(argv[i], "compression", &v)) {
+      if (!ParseCompressionType(v, &db_options.table.compression)) {
+        std::fprintf(stderr, "unknown compression '%s'\n", v.c_str());
+        return Usage(argv[0]);
+      }
     } else if (ParseFlag(argv[i], "engine", &v)) {
       if (v == "iam") {
         db_options.engine = EngineType::kAmt;
