@@ -1,0 +1,240 @@
+// Memory walls: one fixed pool of memory, three ways to divide it between
+// the write side (memtable) and the read side (block cache), under a
+// grow-past-cache workload that needs both.
+//
+//   fixed-write - the pool is committed up front to a large memtable
+//                 (node_capacity = 7/8 of the pool) with a sliver of cache:
+//                 writes rotate rarely, but once the data set outgrows the
+//                 cache almost every read misses.
+//   fixed-read  - the pool is committed to the cache (memtable stays at the
+//                 256KB structural node size): reads are served as well as
+//                 a fixed split can, but the tiny memtable rotates
+//                 constantly and write stalls pile up behind compaction.
+//   arbitrated  - Options::memory_budget_bytes = the same pool; the
+//                 memory arbiter (core/memory_arbiter.h) starts from a
+//                 1/4 write share and re-divides online from the observed
+//                 stall and miss EWMAs, re-running the (m, k) tuner on the
+//                 AMT engines whenever the read share moves.
+//
+// The workload interleaves one insert of a NEW key with one uniform read
+// over all keys inserted so far, after a small preload — the data set
+// grows monotonically through and far past the pool, so neither a pure
+// write-side nor a pure read-side division is right for the whole run.
+// The observable is overall ops/sec plus the per-side tails (put p99, get
+// p99), stall time, and the cache hit rate; the arbitrated cell also
+// reports where the split ended up and how many times it moved.  The
+// claim under test is modest and robust: the arbiter must beat the WORST
+// fixed division on every engine — adaptivity as insurance against
+// committing the pool to the wrong side.
+//
+// One JSON line per (engine, mode) cell:
+//   {"bench":"memory_tuning","engine":"iam","mode":"arbitrated",
+//    "pool_mb":8,"steps":30000,"ops":60000,"ops_per_sec":52000.0,
+//    "put_p99_us":40.0,"get_p99_us":95.0,"stall_s":0.21,
+//    "cache_hit_rate":0.31,"data_mb":34.1,
+//    "arbiter_write_mb":1.2,"arbiter_read_mb":6.8,
+//    "arbiter_retunes":120,"arbiter_shifts":14,"mixed_level_retunes":3}
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/db.h"
+#include "env/mem_env.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "workload/harness.h"
+
+using namespace iamdb;
+
+namespace {
+
+constexpr int kValueSize = 1024;             // paper: 1KB values
+constexpr uint64_t kPoolBytes = 8ull << 20;  // the contended pool
+constexpr uint64_t kNodeCapacity = 256 << 10;
+constexpr uint64_t kPreloadKeys = 4000;      // targets for the first reads
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct EngineSpec {
+  const char* name;
+  EngineType engine;
+  AmtPolicy policy;
+};
+
+enum class Mode { kFixedWrite, kFixedRead, kArbitrated };
+
+struct ModeSpec {
+  const char* name;
+  Mode mode;
+};
+
+Options MakeCellOptions(const EngineSpec& spec, const ModeSpec& mode,
+                        int bg_threads, Env* env) {
+  Options options;
+  options.env = env;
+  options.engine = spec.engine;
+  options.amt.policy = spec.policy;
+  options.table.block_size = 4096;
+  options.amt.fanout = 10;
+  options.background_threads = bg_threads;
+  options.max_subcompactions = 4;
+  switch (mode.mode) {
+    case Mode::kFixedWrite:
+      // The pool hoarded by the write side: one huge memtable, 1MB cache.
+      options.node_capacity = kPoolBytes - (1 << 20);
+      options.block_cache_capacity = 1 << 20;
+      break;
+    case Mode::kFixedRead:
+      // The pool hoarded by the read side: structural memtable, rest cache.
+      options.node_capacity = kNodeCapacity;
+      options.block_cache_capacity = kPoolBytes - kNodeCapacity;
+      break;
+    case Mode::kArbitrated:
+      // Same pool, divided online.  block_cache_capacity is only a tier
+      // ratio under the arbiter (single tier here), node_capacity is the
+      // write-side floor.
+      options.node_capacity = kNodeCapacity;
+      options.memory_budget_bytes = kPoolBytes;
+      break;
+  }
+  // Keep the leveled tree's ratios tied to the flush size, as elsewhere.
+  options.leveled.target_file_size = options.node_capacity / 2;
+  options.leveled.max_bytes_level1 = 5 * options.node_capacity;
+  return options;
+}
+
+void RunCell(const EngineSpec& spec, const ModeSpec& mode, int bg_threads,
+             uint64_t steps) {
+  MemEnv env;
+  std::unique_ptr<DB> db;
+  Status s =
+      DB::Open(MakeCellOptions(spec, mode, bg_threads, &env), "/bench", &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return;
+  }
+
+  Random64 rnd(42);
+  const std::string value(kValueSize, 'v');
+  std::string out;
+
+  uint64_t next_key = 0;
+  for (; next_key < kPreloadKeys; next_key++) {
+    s = db->Put(WriteOptions(), Key(next_key), value);
+    if (!s.ok()) {
+      std::fprintf(stderr, "preload put failed: %s\n", s.ToString().c_str());
+      return;
+    }
+  }
+
+  Histogram put_us;
+  Histogram get_us;
+  const double start = NowMicros();
+  for (uint64_t i = 0; i < steps; i++) {
+    double t0 = NowMicros();
+    s = db->Put(WriteOptions(), Key(next_key), value);
+    double t1 = NowMicros();
+    if (!s.ok()) {
+      std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
+      return;
+    }
+    put_us.Add(t1 - t0);
+    next_key++;
+
+    const std::string key = Key(rnd.Uniform(next_key));
+    t0 = NowMicros();
+    s = db->Get(ReadOptions(), key, &out);
+    t1 = NowMicros();
+    if (!s.ok()) {
+      std::fprintf(stderr, "get failed (%s): %s\n", key.c_str(),
+                   s.ToString().c_str());
+      return;
+    }
+    get_us.Add(t1 - t0);
+  }
+  const double elapsed_s = (NowMicros() - start) / 1e6;
+  const uint64_t ops = 2 * steps;
+
+  DbStats stats = db->GetStats();
+  const uint64_t probes = stats.cache_hits + stats.cache_misses;
+  const double hit_rate =
+      probes > 0 ? static_cast<double>(stats.cache_hits) / probes : 0.0;
+  const double data_mb = next_key * static_cast<double>(kValueSize) / 1048576.0;
+
+  std::printf("%-8s %-12s %10.0f %10.2f %10.2f %8.3f %8.3f %8llu %8llu\n",
+              spec.name, mode.name, ops / elapsed_s, put_us.Percentile(99),
+              get_us.Percentile(99), hit_rate, stats.stall_micros / 1e6,
+              static_cast<unsigned long long>(stats.arbiter_shifts),
+              static_cast<unsigned long long>(stats.mixed_level_retunes));
+
+  std::printf(
+      "{\"bench\":\"memory_tuning\",\"engine\":\"%s\",\"mode\":\"%s\","
+      "\"bg_threads\":%d,\"cpus\":%u,\"pool_mb\":%llu,\"steps\":%llu,"
+      "\"ops\":%llu,\"ops_per_sec\":%.1f,\"put_p99_us\":%.2f,"
+      "\"get_p99_us\":%.2f,\"stall_s\":%.3f,\"cache_hit_rate\":%.4f,"
+      "\"data_mb\":%.1f,\"arbiter_write_mb\":%.2f,\"arbiter_read_mb\":%.2f,"
+      "\"arbiter_retunes\":%llu,\"arbiter_shifts\":%llu,"
+      "\"mixed_level_retunes\":%llu}\n",
+      spec.name, mode.name, bg_threads, std::thread::hardware_concurrency(),
+      static_cast<unsigned long long>(kPoolBytes >> 20),
+      static_cast<unsigned long long>(steps),
+      static_cast<unsigned long long>(ops), ops / elapsed_s,
+      put_us.Percentile(99), get_us.Percentile(99), stats.stall_micros / 1e6,
+      hit_rate, data_mb, stats.arbiter_write_bytes / 1048576.0,
+      stats.arbiter_read_bytes / 1048576.0,
+      static_cast<unsigned long long>(stats.arbiter_retunes),
+      static_cast<unsigned long long>(stats.arbiter_shifts),
+      static_cast<unsigned long long>(stats.mixed_level_retunes));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::ParseScale(argc, argv, 1.0);
+  // 30k steps = 30k new keys + 30k uniform reads: the live set ends near
+  // 34MB, about 4x the 8MB pool, so every division of the pool is under
+  // pressure on both sides by the end of the run.
+  const uint64_t steps = std::max<uint64_t>(2000, bench::Scaled(30000, scale));
+  const int bg_threads = bench::ParseBgThreads(argc, argv, 2);
+
+  const EngineSpec engines[] = {
+      {"leveled", EngineType::kLeveled, AmtPolicy::kLsa},
+      {"lsa", EngineType::kAmt, AmtPolicy::kLsa},
+      {"iam", EngineType::kAmt, AmtPolicy::kIam},
+  };
+  const ModeSpec modes[] = {
+      {"fixed-write", Mode::kFixedWrite},
+      {"fixed-read", Mode::kFixedRead},
+      {"arbitrated", Mode::kArbitrated},
+  };
+
+  std::printf(
+      "=== memory_tuning (%lluMB pool, %llu insert+read steps, 1KB values, "
+      "%d bg) ===\n",
+      static_cast<unsigned long long>(kPoolBytes >> 20),
+      static_cast<unsigned long long>(steps), bg_threads);
+  std::printf("%-8s %-12s %10s %10s %10s %8s %8s %8s %8s\n", "engine", "mode",
+              "ops/sec", "put_p99", "get_p99", "hit_rate", "stall(s)",
+              "shifts", "mk_ret");
+  for (const EngineSpec& spec : engines) {
+    for (const ModeSpec& mode : modes) {
+      RunCell(spec, mode, bg_threads, steps);
+    }
+  }
+  return 0;
+}

@@ -105,6 +105,8 @@ Status AmtEngine::Recover(const RecoveredState& state) {
   }
   current_.Store(std::make_shared<const TreeVersion>(std::move(levels)));
   RecomputeMixedLevel();
+  // The recovered-state computation above is the baseline, not a retune.
+  mk_retunes_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -126,25 +128,31 @@ void AmtEngine::RecomputeMixedLevel() {
   TreeVersionPtr version = current_version();
   const int n = version->num_levels();
 
+  MixedLevelChoice choice;
   if (amt.policy == AmtPolicy::kLsa) {
-    mixed_.store(MixedLevelChoice{n + 1, amt.k}, std::memory_order_release);
-    return;
-  }
-  if (!amt.auto_tune_mk) {
+    choice = MixedLevelChoice{n + 1, amt.k};
+  } else if (!amt.auto_tune_mk) {
     int m = amt.fixed_mixed_level;
-    mixed_.store(MixedLevelChoice{m <= 0 ? n + 1 : m, amt.k},
-                 std::memory_order_release);
-    return;
+    choice = MixedLevelChoice{m <= 0 ? n + 1 : m, amt.k};
+  } else {
+    std::vector<uint64_t> level_bytes;
+    level_bytes.reserve(n);
+    for (int i = 0; i < n; i++) level_bytes.push_back(version->LevelBytes(i));
+    // The tuner's M: an explicit override, else the live cache capacity —
+    // which the memory arbiter moves online, so a re-division here picks
+    // up the new read share (with fixed sizing it equals
+    // block_cache_capacity and this is the historical behaviour).
+    uint64_t budget = amt.memory_budget_bytes != 0
+                          ? amt.memory_budget_bytes
+                          : db_->block_cache()->capacity();
+    budget = static_cast<uint64_t>(budget * amt.memory_budget_fraction);
+    choice = ChooseMixedLevel(level_bytes, amt.fanout, amt.k, budget);
   }
-  std::vector<uint64_t> level_bytes;
-  level_bytes.reserve(n);
-  for (int i = 0; i < n; i++) level_bytes.push_back(version->LevelBytes(i));
-  uint64_t budget = amt.memory_budget_bytes != 0
-                        ? amt.memory_budget_bytes
-                        : db_->options().block_cache_capacity;
-  budget = static_cast<uint64_t>(budget * amt.memory_budget_fraction);
-  mixed_.store(ChooseMixedLevel(level_bytes, amt.fanout, amt.k, budget),
-               std::memory_order_release);
+  MixedLevelChoice old = mixed_.load(std::memory_order_relaxed);
+  if (old.m != 0 && (old.m != choice.m || old.k != choice.k)) {
+    mk_retunes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  mixed_.store(choice, std::memory_order_release);
 }
 
 bool AmtEngine::IsAppendLevel(int paper_level) const {
@@ -1279,6 +1287,7 @@ void AmtEngine::FillStats(DbStats* stats) const {
   MixedLevelChoice mixed = mixed_level();
   stats->mixed_level = mixed.m;
   stats->mixed_level_k = mixed.k;
+  stats->mixed_level_retunes = mk_retunes_.load(std::memory_order_relaxed);
   stats->pending_debt_bytes = CompactionDebtBytes();
 }
 

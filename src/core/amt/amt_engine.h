@@ -65,6 +65,7 @@ class AmtEngine final : public TreeEngine {
   WritePressure GetWritePressure() const override;
   uint64_t CompactionDebtBytes() const override;
   void FillStats(DbStats* stats) const override;
+  void OnMemoryRetune() override { RecomputeMixedLevel(); }
   TreeVersionPtr current_version() const override {
     return current_.Snapshot();
   }
@@ -168,6 +169,10 @@ class AmtEngine final : public TreeEngine {
   bool imm_flush_running_ = false;
   // Written under the DB mutex; read lock-free from reads/stats/flushes.
   std::atomic<MixedLevelChoice> mixed_{MixedLevelChoice{}};
+  // Times the stored (m,k) changed after open — tree growth or an arbiter
+  // re-division moving the tuner's budget.  Recover zeroes it so the
+  // initial computation over recovered state does not count.
+  std::atomic<uint64_t> mk_retunes_{0};
 };
 
 }  // namespace iamdb

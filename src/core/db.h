@@ -91,6 +91,17 @@ struct DbStats {
   uint64_t compressed_cache_usage = 0;
   uint64_t compressed_cache_hits = 0;
   uint64_t compressed_cache_misses = 0;
+  // Unified memory arbiter (all zero when memory_budget_bytes == 0).
+  // budget = the pooled budget; write/read = the current division;
+  // retunes = rebalance passes evaluated; shifts = passes that moved the
+  // split.  mixed_level_retunes counts (m,k) changes after open — tree
+  // growth or an arbiter re-division moving the tuner's budget.
+  uint64_t arbiter_budget_bytes = 0;
+  uint64_t arbiter_write_bytes = 0;
+  uint64_t arbiter_read_bytes = 0;
+  uint64_t arbiter_retunes = 0;
+  uint64_t arbiter_shifts = 0;
+  uint64_t mixed_level_retunes = 0;
 };
 
 // Aggregation across DB instances (ShardedDB sums its shards' stats).

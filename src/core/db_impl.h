@@ -13,6 +13,7 @@
 
 #include "core/compaction_pacer.h"
 #include "core/db.h"
+#include "core/memory_arbiter.h"
 #include "core/dbformat.h"
 #include "core/manifest.h"
 #include "core/snapshot.h"
@@ -115,6 +116,14 @@ class DBImpl final : public DB {
     subcompactions_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  // Unified memory arbiter; nullptr when memory_budget_bytes == 0.
+  MemoryArbiter* memory_arbiter() { return arbiter_.get(); }
+
+  // Applies one arbiter step immediately (ops/test hook; takes the
+  // mutex and re-runs the engine's memory-dependent decisions).  Returns
+  // false when the arbiter is off or the step was already clamped.
+  bool ForceMemoryStep(MemoryArbiter::Shift direction);
+
  private:
   friend class DB;
 
@@ -127,6 +136,8 @@ class DBImpl final : public DB {
   Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
   WriteBatch* BuildBatchGroup(WriterItem** last_writer);
   void MaybeScheduleBackgroundWork();  // mutex held
+  void MaybeRebalanceMemory();         // mutex held
+  void MaybeRebalanceMemoryFromRead();  // no mutex; try-locks
   void BackgroundCall(TreeEngine::WorkLane lane);
   void RemoveObsoleteFiles();  // mutex held (open/flush time)
   Iterator* NewInternalIterator(const ReadOptions& options,
@@ -186,6 +197,11 @@ class DBImpl final : public DB {
   // measured ingest rate and the engine's compaction debt (see
   // core/compaction_pacer.h).
   std::unique_ptr<CompactionPacer> pacer_;
+  // Non-null iff options.memory_budget_bytes > 0: re-divides the pooled
+  // budget between the memtable quota and the cache tiers (see
+  // core/memory_arbiter.h).  Constructed before the caches, which are
+  // sized from its initial division.
+  std::unique_ptr<MemoryArbiter> arbiter_;
   // Two-lane scheduling accounting (mutex_): at most one flush worker —
   // flushes serialize on the single imm anyway — plus one compaction
   // worker per job the engine says is runnable right now.

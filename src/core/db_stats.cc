@@ -91,6 +91,14 @@ DbStats& operator+=(DbStats& lhs, const DbStats& rhs) {
   lhs.compressed_cache_usage += rhs.compressed_cache_usage;
   lhs.compressed_cache_hits += rhs.compressed_cache_hits;
   lhs.compressed_cache_misses += rhs.compressed_cache_misses;
+  // Arbiter budgets/divisions sum like the pacer rates: the aggregate is
+  // the cluster-wide memory pool and its current split.
+  lhs.arbiter_budget_bytes += rhs.arbiter_budget_bytes;
+  lhs.arbiter_write_bytes += rhs.arbiter_write_bytes;
+  lhs.arbiter_read_bytes += rhs.arbiter_read_bytes;
+  lhs.arbiter_retunes += rhs.arbiter_retunes;
+  lhs.arbiter_shifts += rhs.arbiter_shifts;
+  lhs.mixed_level_retunes += rhs.mixed_level_retunes;
   return lhs;
 }
 

@@ -101,6 +101,39 @@ struct LeveledOptions {
   uint64_t hard_pending_bytes = 512ull << 20;
 };
 
+// Unified memory arbiter (see core/memory_arbiter.h).  Behaviour knobs for
+// the Options::memory_budget_bytes pool: the arbiter starts from
+// initial_write_fraction, then once per retune interval folds the observed
+// write-stall time and cache miss rate into EWMAs and moves the split one
+// step toward whichever side is starved.  The write share never drops
+// below one memtable (node_capacity) and the read share never drops below
+// the minimum cache allotment, so neither side can be starved out
+// entirely.
+struct ArbiterOptions {
+  // Starting write-side share of the pool (clamped to the floors above).
+  double initial_write_fraction = 0.25;
+
+  // Fraction of the pool moved per rebalance step.
+  double step_fraction = 1.0 / 16;
+
+  // Controller cadence; rebalances are rate-limited to one per interval.
+  uint64_t retune_interval_micros = 50 * 1000;
+
+  // Write-side pressure: smoothed memtable-full stall time above this
+  // share of the interval (per mille) pulls budget toward the memtable —
+  // unless compaction debt is past pacing.debt_high_bytes, in which case
+  // the stalls are compaction-bound and a bigger memtable would not help.
+  uint64_t stall_shift_per_mille = 50;
+
+  // Read-side pressure: smoothed block-cache miss rate above this
+  // (per mille), with stalls quiet, pushes budget toward the caches.
+  uint64_t miss_shift_per_mille = 200;
+
+  // Intervals with fewer cache lookups than this carry no read signal
+  // (the miss-rate EWMA holds its value instead of folding noise).
+  uint64_t min_lookups_per_interval = 64;
+};
+
 // Adaptive compaction pacing (see core/compaction_pacer.h).  When enabled
 // the fixed compaction_rate_limit is replaced by a controller that measures
 // the sustained ingest/compaction load and the engine's outstanding
@@ -170,6 +203,19 @@ struct Options {
   // debt bytes first (greedy) instead of fixed scan/round-robin order.
   // Applies to all engines; see docs/CONCURRENCY.md.
   bool greedy_compaction = true;
+
+  // One pooled memory budget across the memtable and both block-cache
+  // tiers (core/memory_arbiter.h).  When > 0, block_cache_capacity and
+  // compressed_cache_capacity stop being absolute sizes — they only set
+  // the ratio in which the read share is divided between the tiers (and
+  // whether the compressed tier exists at all) — and the memtable
+  // rotation threshold becomes the arbiter's write quota instead of
+  // node_capacity.  Must be at least one memtable plus the minimum cache
+  // allotment (Open returns InvalidArgument otherwise).  0 = fixed sizing.
+  uint64_t memory_budget_bytes = 0;
+
+  // Arbiter behaviour knobs (used only when memory_budget_bytes > 0).
+  ArbiterOptions arbiter;
 
   // Block cache capacity; models the memory available for data blocks.
   // Entries are charged at uncompressed (resident) size.

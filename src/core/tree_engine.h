@@ -76,6 +76,13 @@ class TreeEngine {
   // Engine-specific statistics (no DB mutex; reads the published version).
   virtual void FillStats(DbStats* stats) const = 0;
 
+  // Called after the memory arbiter re-divides the budget (DB mutex
+  // held): re-derive any cached decisions that depend on memory
+  // capacities.  The AMT engine re-runs the (m,k) tuner against the new
+  // cache capacity; the changed mixed level takes effect at the next
+  // flush/merge boundary.  Default: nothing is capacity-dependent.
+  virtual void OnMemoryRetune() {}
+
   // Current published tree version (lock-free).
   virtual TreeVersionPtr current_version() const = 0;
 

@@ -307,9 +307,16 @@ enum StatsTag : uint32_t {
   kTagCompressedCacheUsage = 40,
   kTagCompressedCacheHits = 41,
   kTagCompressedCacheMisses = 42,
+  // Unified memory-arbiter gauges.
+  kTagArbiterBudget = 43,
+  kTagArbiterWriteBytes = 44,
+  kTagArbiterReadBytes = 45,
+  kTagArbiterRetunes = 46,
+  kTagArbiterShifts = 47,
+  kTagMixedLevelRetunes = 48,
 };
 
-static_assert(kTagCompressedCacheMisses == kMaxDbStatsTag,
+static_assert(kTagMixedLevelRetunes == kMaxDbStatsTag,
               "bump wire::kMaxDbStatsTag when adding a StatsTag");
 
 void PutField(std::string* dst, uint32_t tag, const std::string& bytes) {
@@ -431,6 +438,18 @@ void EncodeDbStats(const DbStats& stats, std::string* dst) {
     PutU64Field(dst, kTagCompressedCacheHits, stats.compressed_cache_hits);
     PutU64Field(dst, kTagCompressedCacheMisses,
                 stats.compressed_cache_misses);
+  }
+  // Arbiter tags, omitted as a group when no pooled budget was configured
+  // so a fixed-sizing snapshot keeps its historical byte layout.
+  if (stats.arbiter_budget_bytes != 0 || stats.arbiter_write_bytes != 0 ||
+      stats.arbiter_read_bytes != 0 || stats.arbiter_retunes != 0 ||
+      stats.arbiter_shifts != 0 || stats.mixed_level_retunes != 0) {
+    PutU64Field(dst, kTagArbiterBudget, stats.arbiter_budget_bytes);
+    PutU64Field(dst, kTagArbiterWriteBytes, stats.arbiter_write_bytes);
+    PutU64Field(dst, kTagArbiterReadBytes, stats.arbiter_read_bytes);
+    PutU64Field(dst, kTagArbiterRetunes, stats.arbiter_retunes);
+    PutU64Field(dst, kTagArbiterShifts, stats.arbiter_shifts);
+    PutU64Field(dst, kTagMixedLevelRetunes, stats.mixed_level_retunes);
   }
 }
 
@@ -587,6 +606,24 @@ bool DecodeDbStats(Slice payload, DbStats* stats) {
         break;
       case kTagCompressedCacheMisses:
         if (!get_u64(&stats->compressed_cache_misses)) return false;
+        break;
+      case kTagArbiterBudget:
+        if (!get_u64(&stats->arbiter_budget_bytes)) return false;
+        break;
+      case kTagArbiterWriteBytes:
+        if (!get_u64(&stats->arbiter_write_bytes)) return false;
+        break;
+      case kTagArbiterReadBytes:
+        if (!get_u64(&stats->arbiter_read_bytes)) return false;
+        break;
+      case kTagArbiterRetunes:
+        if (!get_u64(&stats->arbiter_retunes)) return false;
+        break;
+      case kTagArbiterShifts:
+        if (!get_u64(&stats->arbiter_shifts)) return false;
+        break;
+      case kTagMixedLevelRetunes:
+        if (!get_u64(&stats->mixed_level_retunes)) return false;
         break;
       default:
         break;  // forward compatibility: skip unknown field

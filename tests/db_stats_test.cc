@@ -66,6 +66,12 @@ DbStats MakeStats(uint64_t base) {
   s.compressed_cache_usage = 37 + base;
   s.compressed_cache_hits = 38 + base;
   s.compressed_cache_misses = 39 + base;
+  s.arbiter_budget_bytes = 41 + base;
+  s.arbiter_write_bytes = 42 + base;
+  s.arbiter_read_bytes = 43 + base;
+  s.arbiter_retunes = 44 + base;
+  s.arbiter_shifts = 45 + base;
+  s.mixed_level_retunes = 46 + base;
   return s;
 }
 
@@ -150,6 +156,12 @@ TEST(DbStatsCodecTest, Roundtrip) {
   EXPECT_EQ(out.compressed_cache_usage, in.compressed_cache_usage);
   EXPECT_EQ(out.compressed_cache_hits, in.compressed_cache_hits);
   EXPECT_EQ(out.compressed_cache_misses, in.compressed_cache_misses);
+  EXPECT_EQ(out.arbiter_budget_bytes, in.arbiter_budget_bytes);
+  EXPECT_EQ(out.arbiter_write_bytes, in.arbiter_write_bytes);
+  EXPECT_EQ(out.arbiter_read_bytes, in.arbiter_read_bytes);
+  EXPECT_EQ(out.arbiter_retunes, in.arbiter_retunes);
+  EXPECT_EQ(out.arbiter_shifts, in.arbiter_shifts);
+  EXPECT_EQ(out.mixed_level_retunes, in.mixed_level_retunes);
 }
 
 // A compression-off snapshot must keep its historical layout: the tags are
@@ -180,6 +192,33 @@ TEST(DbStatsCodecTest, CompressionTagsOmittedWhenIdle) {
   tags = TagsOf(encoded);
   for (uint32_t tag = 33; tag <= 42; tag++) {
     EXPECT_EQ(tags.count(tag), 1u) << "active compression tag " << tag;
+  }
+}
+
+// Same layout guard for the arbiter group: fixed-sizing snapshots (no
+// pooled budget) must not grow new tags.
+TEST(DbStatsCodecTest, ArbiterTagsOmittedWhenOff) {
+  DbStats s = MakeStats(1);
+  s.arbiter_budget_bytes = 0;
+  s.arbiter_write_bytes = 0;
+  s.arbiter_read_bytes = 0;
+  s.arbiter_retunes = 0;
+  s.arbiter_shifts = 0;
+  s.mixed_level_retunes = 0;
+  std::string encoded;
+  wire::EncodeDbStats(s, &encoded);
+  std::map<uint32_t, std::string> tags = TagsOf(encoded);
+  for (uint32_t tag = 43; tag <= 48; tag++) {
+    EXPECT_EQ(tags.count(tag), 0u) << "idle arbiter tag " << tag;
+  }
+  // A single nonzero member (an AMT (m,k) retune without an arbiter also
+  // counts) pulls the whole group in.
+  s.mixed_level_retunes = 3;
+  encoded.clear();
+  wire::EncodeDbStats(s, &encoded);
+  tags = TagsOf(encoded);
+  for (uint32_t tag = 43; tag <= 48; tag++) {
+    EXPECT_EQ(tags.count(tag), 1u) << "active arbiter tag " << tag;
   }
 }
 
@@ -384,6 +423,28 @@ TEST(DbStatsAggregationTest, EveryTagHasAggregationSemantics) {
       case 42:
         EXPECT_EQ(sum.compressed_cache_misses,
                   a.compressed_cache_misses + b.compressed_cache_misses);
+        break;
+      case 43:  // cluster-wide pool: budgets sum
+        EXPECT_EQ(sum.arbiter_budget_bytes,
+                  a.arbiter_budget_bytes + b.arbiter_budget_bytes);
+        break;
+      case 44:
+        EXPECT_EQ(sum.arbiter_write_bytes,
+                  a.arbiter_write_bytes + b.arbiter_write_bytes);
+        break;
+      case 45:
+        EXPECT_EQ(sum.arbiter_read_bytes,
+                  a.arbiter_read_bytes + b.arbiter_read_bytes);
+        break;
+      case 46:
+        EXPECT_EQ(sum.arbiter_retunes, a.arbiter_retunes + b.arbiter_retunes);
+        break;
+      case 47:
+        EXPECT_EQ(sum.arbiter_shifts, a.arbiter_shifts + b.arbiter_shifts);
+        break;
+      case 48:
+        EXPECT_EQ(sum.mixed_level_retunes,
+                  a.mixed_level_retunes + b.mixed_level_retunes);
         break;
       default:
         ADD_FAILURE() << "tag " << tag

@@ -81,9 +81,21 @@ void PrintStats(const DbStats& stats) {
                 stats.compressed_cache_usage, stats.compressed_cache_hits,
                 stats.compressed_cache_misses);
   }
+  if (stats.arbiter_budget_bytes > 0) {
+    std::printf("memory arbiter:    %" PRIu64 "B budget = %" PRIu64
+                "B write + %" PRIu64 "B read, %" PRIu64 " retunes, %" PRIu64
+                " shifts\n",
+                stats.arbiter_budget_bytes, stats.arbiter_write_bytes,
+                stats.arbiter_read_bytes, stats.arbiter_retunes,
+                stats.arbiter_shifts);
+  }
   if (stats.mixed_level > 0) {
-    std::printf("mixed level:       m=%d k=%d\n", stats.mixed_level,
+    std::printf("mixed level:       m=%d k=%d", stats.mixed_level,
                 stats.mixed_level_k);
+    if (stats.mixed_level_retunes > 0) {
+      std::printf(" (%" PRIu64 " retunes)", stats.mixed_level_retunes);
+    }
+    std::printf("\n");
   }
   for (size_t i = 0; i < stats.level_bytes.size(); i++) {
     std::printf("level %zu:           %" PRIu64 "B in %d nodes", i + 1,

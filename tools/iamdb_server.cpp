@@ -6,11 +6,16 @@
 //                [--db_shards=N] [--bg_threads=N] [--subcompactions=N]
 //                [--rate_limit_mb=N] [--adaptive_pacing] [--cache_mb=64]
 //                [--compression=none|columnar|lz] [--compressed_cache_mb=N]
-//                [--sync_wal]
+//                [--memory_budget_mb=N] [--sync_wal]
 //
 // --compression selects the per-block codec newly written tables use
 // (existing tables keep their recorded codec); --compressed_cache_mb
 // enables the compressed-block cache tier (0 = off).
+//
+// --memory_budget_mb pools the memtable quota and the cache tiers into one
+// budget re-divided online by the memory arbiter (core/memory_arbiter.h);
+// --cache_mb / --compressed_cache_mb then only set the tier ratio.  With
+// --db_shards the budget divides evenly across the shards.
 //
 // --adaptive_pacing replaces the fixed --rate_limit_mb budget with the
 // debt/ingest feedback controller (core/compaction_pacer.h); when both are
@@ -60,7 +65,7 @@ int Usage(const char* argv0) {
                "[--db_shards=N] [--bg_threads=N] [--subcompactions=N] "
                "[--rate_limit_mb=N] [--adaptive_pacing] [--cache_mb=N] "
                "[--compression=none|columnar|lz] [--compressed_cache_mb=N] "
-               "[--sync_wal]\n",
+               "[--memory_budget_mb=N] [--sync_wal]\n",
                argv0);
   return 2;
 }
@@ -106,6 +111,9 @@ int main(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(v.c_str())) << 20;
     } else if (ParseFlag(argv[i], "compressed_cache_mb", &v)) {
       db_options.compressed_cache_capacity =
+          static_cast<uint64_t>(std::atoll(v.c_str())) << 20;
+    } else if (ParseFlag(argv[i], "memory_budget_mb", &v)) {
+      db_options.memory_budget_bytes =
           static_cast<uint64_t>(std::atoll(v.c_str())) << 20;
     } else if (ParseFlag(argv[i], "compression", &v)) {
       if (!ParseCompressionType(v, &db_options.table.compression)) {
