@@ -15,7 +15,9 @@
 // --db_shards=N serves a hash-partitioned ShardedDB instead of a single
 // instance; --shard_sweep replaces the standard suite with a PUT/GET/MGET
 // sweep over db_shards in {1,2,4,8} ("bench":"sharding" JSON lines, MGET
-// through the client-side shard-routing path).
+// through the client-side shard-routing path); --mget_sweep replaces it
+// with a looped-GET vs batched-MGET comparison, cold and warm cache, per
+// engine ("bench":"mget_sweep" JSON lines).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -283,6 +285,123 @@ int RunShardSweep(uint64_t ops_per_cell, uint64_t key_space) {
   return 0;
 }
 
+// Looped-GET vs batched MGET over the same key distribution, cold and warm
+// cache, 1KB values, one pass per engine.  Every cell reopens the DB (and
+// server) over the persisted MemEnv files so its cache tiers start
+// genuinely cold; warm cells then run one warming pass over a key slice
+// sized to fit the block cache before measuring.  ops/ops_per_sec count
+// KEYS for both modes, so the cells compare directly: the MGET win is
+// batched dispatch plus coalesced vectored block I/O under the misses.
+int RunMgetSweep(uint64_t ops_per_cell, uint64_t key_space) {
+  const int cpus = static_cast<int>(std::thread::hardware_concurrency());
+  constexpr int kConnections = 4;
+  constexpr int kBatch = 64;
+  constexpr int kSweepValueSize = 1024;
+  // Warm slice: ~warm_space data blocks must fit the cache with room to
+  // spare (8MB cache below vs ~4MB of 1KB values).
+  const uint64_t warm_space = std::min<uint64_t>(key_space, 4000);
+
+  struct EngineCell {
+    EngineType engine;
+    AmtPolicy policy;
+    const char* name;
+  };
+  const EngineCell engines[] = {
+      {EngineType::kLeveled, AmtPolicy::kLsa, "leveled"},
+      {EngineType::kAmt, AmtPolicy::kLsa, "lsa"},
+      {EngineType::kAmt, AmtPolicy::kIam, "iam"},
+  };
+
+  std::printf("=== looped GET vs MGET(%d) sweep (%llu keys/cell, 1KB values) ===\n",
+              kBatch, static_cast<unsigned long long>(ops_per_cell));
+  std::printf("%-8s %-12s %6s %12s %9s %9s %9s\n", "engine", "op", "cache",
+              "keys/sec", "p50(us)", "p99(us)", "p999(us)");
+
+  for (const EngineCell& e : engines) {
+    MemEnv env;
+    auto make_options = [&] {
+      Options options;
+      options.env = &env;
+      options.engine = e.engine;
+      options.amt.policy = e.policy;
+      options.background_threads = 2;
+      // Small enough that the cold passes stay device-bound over the
+      // ~100MB data set, large enough to hold the whole warm slice.
+      options.block_cache_capacity = 8ull << 20;
+      return options;
+    };
+
+    {
+      std::unique_ptr<DB> db;
+      Status s = DB::Open(make_options(), "/bench-mget", &db);
+      if (!s.ok()) {
+        std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      const std::string value(kSweepValueSize, 'v');
+      for (uint64_t i = 0; i < key_space; i++) {
+        if (!db->Put(WriteOptions(), Key(i), value).ok()) {
+          std::fprintf(stderr, "preload failed\n");
+          return 1;
+        }
+      }
+      db->FlushAll();
+      db->WaitForQuiescence();
+    }
+
+    auto run_cell = [&](const char* op, const char* cache,
+                        bool warm) -> bool {
+      std::unique_ptr<DB> db;
+      Status s = DB::Open(make_options(), "/bench-mget", &db);
+      if (!s.ok()) {
+        std::fprintf(stderr, "reopen failed: %s\n", s.ToString().c_str());
+        return false;
+      }
+      ServerOptions server_options;
+      server_options.port = 0;
+      server_options.num_workers = 4;
+      Server server(db.get(), server_options);
+      if (!server.Start().ok()) {
+        std::fprintf(stderr, "server start failed\n");
+        return false;
+      }
+      const uint64_t space = warm ? warm_space : key_space;
+      if (warm) {
+        // One covering pass fills both cache tiers before measurement.
+        RunMgetCell(server.port(), 1, space, space, kBatch);
+      }
+      const uint64_t per_conn =
+          std::max<uint64_t>(1, ops_per_cell / kConnections);
+      const bool mget = std::string(op) == "mget";
+      CellResult r = mget ? RunMgetCell(server.port(), kConnections, per_conn,
+                                        space, kBatch)
+                          : RunCell(server.port(), kConnections, per_conn,
+                                    space, /*do_put=*/false);
+      std::printf("%-8s %-12s %6s %12.0f %9.1f %9.1f %9.1f\n", e.name, op,
+                  cache, r.ops_per_sec, r.latency_us.Percentile(50),
+                  r.latency_us.Percentile(99), r.latency_us.Percentile(99.9));
+      std::printf(
+          "{\"bench\":\"mget_sweep\",\"engine\":\"%s\",\"op\":\"%s\","
+          "\"cache\":\"%s\",\"connections\":%d,\"batch\":%d,"
+          "\"value_size\":%d,\"keys\":%llu,\"keys_per_sec\":%.1f,"
+          "\"p50_us\":%.1f,\"p99_us\":%.1f,\"p999_us\":%.1f,\"cpus\":%d}\n",
+          e.name, op, cache, kConnections, mget ? kBatch : 1, kSweepValueSize,
+          static_cast<unsigned long long>(r.ops), r.ops_per_sec,
+          r.latency_us.Percentile(50), r.latency_us.Percentile(99),
+          r.latency_us.Percentile(99.9), cpus);
+      std::fflush(stdout);
+      server.Stop();
+      return true;
+    };
+
+    for (const char* op : {"looped_get", "mget"}) {
+      if (!run_cell(op, "cold", /*warm=*/false)) return 1;
+      if (!run_cell(op, "warm", /*warm=*/true)) return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,14 +411,18 @@ int main(int argc, char** argv) {
 
   int db_shards = 0;
   bool shard_sweep = false;
+  bool mget_sweep = false;
   for (int i = 1; i < argc; i++) {
     if (std::strncmp(argv[i], "--db_shards=", 12) == 0) {
       db_shards = std::atoi(argv[i] + 12);
     } else if (std::strcmp(argv[i], "--shard_sweep") == 0) {
       shard_sweep = true;
+    } else if (std::strcmp(argv[i], "--mget_sweep") == 0) {
+      mget_sweep = true;
     }
   }
   if (shard_sweep) return RunShardSweep(ops_per_cell, key_space);
+  if (mget_sweep) return RunMgetSweep(ops_per_cell, key_space);
 
   MemEnv env;
   Options db_options;

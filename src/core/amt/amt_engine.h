@@ -60,6 +60,8 @@ class AmtEngine final : public TreeEngine {
   Status BackgroundWork(WorkLane lane, bool* did_work) override;
   Status Get(const ReadOptions& options, const LookupKey& key,
              std::string* value) override;
+  void MultiGet(const ReadOptions& options, MultiGetRequest* const* reqs,
+                size_t count) override;
   void AddIterators(const ReadOptions& options,
                     std::vector<Iterator*>* iters) override;
   WritePressure GetWritePressure() const override;
@@ -69,6 +71,7 @@ class AmtEngine final : public TreeEngine {
   TreeVersionPtr current_version() const override {
     return current_.Snapshot();
   }
+  uint64_t version_stamp() const override { return current_.stamp(); }
   Status CheckInvariants(bool quiescent) const override;
 
   // Current mixed-level decision (recomputed when the version changes).

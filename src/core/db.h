@@ -102,6 +102,14 @@ struct DbStats {
   uint64_t arbiter_retunes = 0;
   uint64_t arbiter_shifts = 0;
   uint64_t mixed_level_retunes = 0;
+  // Batched MultiGet gauges (wire tags 49-52; all zero until the first
+  // MultiGet).  coalesced_reads counts vectored device reads that covered
+  // 2+ adjacent blocks; coalesced_blocks the blocks they fetched — so
+  // blocks-per-read = coalesced_blocks / coalesced_reads.
+  uint64_t multiget_batches = 0;
+  uint64_t multiget_keys = 0;
+  uint64_t multiget_coalesced_reads = 0;
+  uint64_t multiget_coalesced_blocks = 0;
 };
 
 // Aggregation across DB instances (ShardedDB sums its shards' stats).
@@ -135,6 +143,17 @@ class DB {
   // NotFound if the key is absent (or deleted) at the read point.
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
+
+  // Batched point lookup: fills statuses[i]/values[i] for keys[i], each
+  // exactly what Get(options, keys[i], &values[i]) would return at the
+  // same read point.  All keys are read at ONE snapshot (options.snapshot
+  // if set, else the committed state when the batch starts).  DBImpl and
+  // ShardedDB override this with a native implementation that acquires the
+  // read view once and coalesces table I/O across the batch; the base
+  // implementation loops over Get.
+  virtual void MultiGet(const ReadOptions& options, size_t count,
+                        const Slice* keys, std::string* values,
+                        Status* statuses);
 
   // Bidirectional iterator over user keys (forward range scans are the
   // paper's workloads; reverse iteration is supported too).  Caller

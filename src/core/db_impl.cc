@@ -648,28 +648,156 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
 // can never miss an entry at or below the loaded sequence.
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
-  const SequenceNumber snapshot =
-      options.snapshot != nullptr
-          ? static_cast<const SnapshotImpl*>(options.snapshot)->sequence()
-          : last_sequence_.load(std::memory_order_acquire);
-
-  LookupKey lkey(key, snapshot);
   Status s;
-  {
-    // Epoch guard, not a refcount: the view (and the memtable references
-    // it pins) stays alive while the guard is held.  Dropped before the
-    // engine probe so block I/O never delays view reclamation.
-    auto view = read_view_.Acquire();
-    if (view->mem->Get(lkey, value, &s)) return s;
-    if (view->imm != nullptr && view->imm->Get(lkey, value, &s)) return s;
+  for (;;) {
+    // Optimistic validation against compaction GC: a compaction that STARTS
+    // after our sequence load may capture a larger smallest-snapshot and
+    // drop the newest entry at or below our sequence (its shadower being
+    // above it).  Versions installed before the sequence load can never do
+    // that, so an unchanged stamp proves a NotFound genuine; a moved stamp
+    // forces one more pass at a fresh sequence.  Registered snapshots are
+    // honoured by SmallestSnapshot() and never need the loop.
+    const uint64_t stamp =
+        options.snapshot == nullptr ? engine_->version_stamp() : 0;
+    const SequenceNumber snapshot =
+        options.snapshot != nullptr
+            ? static_cast<const SnapshotImpl*>(options.snapshot)->sequence()
+            : last_sequence_.load(std::memory_order_acquire);
+
+    LookupKey lkey(key, snapshot);
+    bool found;
+    {
+      // Epoch guard, not a refcount: the view (and the memtable references
+      // it pins) stays alive while the guard is held.  Dropped before the
+      // engine probe so block I/O never delays view reclamation.
+      auto view = read_view_.Acquire();
+      found = view->mem->Get(lkey, value, &s) ||
+              (view->imm != nullptr && view->imm->Get(lkey, value, &s));
+    }
+    if (!found) s = engine_->Get(options, lkey, value);
+    if (found || options.snapshot != nullptr || !s.IsNotFound() ||
+        engine_->version_stamp() == stamp) {
+      break;
+    }
   }
-  s = engine_->Get(options, lkey, value);
   // Arbiter heartbeat for read-dominated workloads (one clock read when
   // due-check fails; try-lock when due, so the hot path never blocks).
   if (arbiter_ != nullptr && arbiter_->RetuneDue()) {
     MaybeRebalanceMemoryFromRead();
   }
   return s;
+}
+
+void DB::MultiGet(const ReadOptions& options, size_t count, const Slice* keys,
+                  std::string* values, Status* statuses) {
+  for (size_t i = 0; i < count; ++i) {
+    statuses[i] = Get(options, keys[i], &values[i]);
+  }
+}
+
+// Native batched read: the snapshot sequence is loaded once, the read view
+// is acquired once for the whole batch's mem/imm probes, and the engine
+// sees the survivors sorted so per-table metadata and block I/O coalesce.
+// Per key the visit order (mem, imm, engine levels newest-first) and the
+// ordering contract are exactly Get's, so the results are byte-equivalent
+// to N sequential Gets at the same snapshot.
+void DBImpl::MultiGet(const ReadOptions& options, size_t count,
+                      const Slice* keys, std::string* values,
+                      Status* statuses) {
+  multiget_batches_.fetch_add(1, std::memory_order_relaxed);
+  multiget_keys_.fetch_add(count, std::memory_order_relaxed);
+
+  // Batch indices still being probed.  Starts as everything; after a pass
+  // it shrinks to the keys the engine found NOTHING for (state kPending)
+  // when the version stamp moved mid-pass — the compaction-GC hazard Get's
+  // retry loop guards against (see Get above).  Found values and observed
+  // tombstones are always genuine and never re-probed.
+  std::vector<size_t> todo(count);
+  for (size_t i = 0; i < count; ++i) todo[i] = i;
+
+  while (!todo.empty()) {
+    const uint64_t stamp =
+        options.snapshot == nullptr ? engine_->version_stamp() : 0;
+    const SequenceNumber snapshot =
+        options.snapshot != nullptr
+            ? static_cast<const SnapshotImpl*>(options.snapshot)->sequence()
+            : last_sequence_.load(std::memory_order_acquire);
+
+    std::deque<LookupKey> lkeys;  // deque: LookupKey is not movable
+    std::vector<MultiGetRequest> reqs(todo.size());
+    std::vector<MultiGetRequest*> pending;
+    pending.reserve(todo.size());
+    for (size_t j = 0; j < todo.size(); ++j) {
+      lkeys.emplace_back(keys[todo[j]], snapshot);
+      reqs[j].lkey = &lkeys.back();
+      reqs[j].value = &values[todo[j]];
+    }
+
+    {
+      // One epoch guard covers every mem/imm probe; dropped before engine
+      // block I/O, same as Get.
+      auto view = read_view_.Acquire();
+      for (size_t j = 0; j < todo.size(); ++j) {
+        Status s;
+        if (view->mem->Get(*reqs[j].lkey, reqs[j].value, &s) ||
+            (view->imm != nullptr &&
+             view->imm->Get(*reqs[j].lkey, reqs[j].value, &s))) {
+          statuses[todo[j]] = s;
+          reqs[j].state = MultiGetRequest::State::kFound;  // resolved
+        } else {
+          pending.push_back(&reqs[j]);
+        }
+      }
+    }
+
+    if (!pending.empty()) {
+      // Engine contract: requests sorted by internal key.  Every key
+      // carries the same snapshot sequence, so user-key order suffices
+      // (and keeps duplicate keys adjacent).
+      std::sort(pending.begin(), pending.end(),
+                [](const MultiGetRequest* a, const MultiGetRequest* b) {
+                  return a->lkey->user_key().compare(b->lkey->user_key()) < 0;
+                });
+      MultiGetContext batch;
+      ReadOptions batch_options = options;
+      batch_options.batch = &batch;
+      engine_->MultiGet(batch_options, pending.data(), pending.size());
+      multiget_coalesced_reads_.fetch_add(batch.coalesced_reads,
+                                          std::memory_order_relaxed);
+      multiget_coalesced_blocks_.fetch_add(batch.coalesced_blocks,
+                                           std::memory_order_relaxed);
+      for (MultiGetRequest* r : pending) {
+        const size_t i = todo[static_cast<size_t>(r - reqs.data())];
+        if (!r->status.ok()) {
+          statuses[i] = r->status;
+        } else if (r->state == MultiGetRequest::State::kFound) {
+          statuses[i] = Status::OK();
+        } else {
+          // kDeleted, kCorrupt-with-OK-status (impossible) and
+          // still-pending all map to NotFound, matching the engine Get
+          // returns.
+          statuses[i] = Status::NotFound(Slice());
+        }
+      }
+    }
+
+    if (options.snapshot != nullptr ||
+        engine_->version_stamp() == stamp) {
+      break;
+    }
+    std::vector<size_t> unresolved;
+    for (size_t j = 0; j < todo.size(); ++j) {
+      if (reqs[j].state == MultiGetRequest::State::kPending &&
+          reqs[j].status.ok()) {
+        unresolved.push_back(todo[j]);
+      }
+    }
+    todo = std::move(unresolved);
+  }
+
+  if (arbiter_ != nullptr && arbiter_->RetuneDue()) {
+    MaybeRebalanceMemoryFromRead();
+  }
 }
 
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
@@ -692,13 +820,25 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
 }
 
 Iterator* DBImpl::NewIterator(const ReadOptions& options) {
-  SequenceNumber latest_snapshot;
-  Iterator* internal_iter = NewInternalIterator(options, &latest_snapshot);
-  SequenceNumber sequence =
-      options.snapshot != nullptr
-          ? static_cast<const SnapshotImpl*>(options.snapshot)->sequence()
-          : latest_snapshot;
-  return NewDBIterator(internal_iter, sequence);
+  // Same compaction-GC hazard as Get: a version installed between the
+  // sequence load and AddIterators may already have dropped entries at or
+  // below that sequence.  Once assembled under an unchanged stamp the
+  // iterator pins its version, so the hazard is construction-only.
+  for (;;) {
+    const uint64_t stamp =
+        options.snapshot == nullptr ? engine_->version_stamp() : 0;
+    SequenceNumber latest_snapshot;
+    Iterator* internal_iter = NewInternalIterator(options, &latest_snapshot);
+    if (options.snapshot != nullptr) {
+      return NewDBIterator(
+          internal_iter,
+          static_cast<const SnapshotImpl*>(options.snapshot)->sequence());
+    }
+    if (engine_->version_stamp() == stamp) {
+      return NewDBIterator(internal_iter, latest_snapshot);
+    }
+    delete internal_iter;
+  }
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
@@ -1090,6 +1230,12 @@ DbStats DBImpl::GetStats() {
     stats.arbiter_retunes = arbiter_->retunes();
     stats.arbiter_shifts = arbiter_->shifts();
   }
+  stats.multiget_batches = multiget_batches_.load(std::memory_order_relaxed);
+  stats.multiget_keys = multiget_keys_.load(std::memory_order_relaxed);
+  stats.multiget_coalesced_reads =
+      multiget_coalesced_reads_.load(std::memory_order_relaxed);
+  stats.multiget_coalesced_blocks =
+      multiget_coalesced_blocks_.load(std::memory_order_relaxed);
   engine_->FillStats(&stats);
   return stats;
 }

@@ -58,6 +58,8 @@ class DBImpl final : public DB {
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
+  void MultiGet(const ReadOptions& options, size_t count, const Slice* keys,
+                std::string* values, Status* statuses) override;
   Iterator* NewIterator(const ReadOptions& options) override;
   const Snapshot* GetSnapshot() override;
   void ReleaseSnapshot(const Snapshot* snapshot) override;
@@ -213,6 +215,11 @@ class DBImpl final : public DB {
   Status bg_error_;
   std::atomic<uint64_t> stall_micros_{0};
   std::atomic<uint64_t> subcompactions_{0};
+  // Batched-read accounting (DbStats multiget gauges; no mutex).
+  std::atomic<uint64_t> multiget_batches_{0};
+  std::atomic<uint64_t> multiget_keys_{0};
+  std::atomic<uint64_t> multiget_coalesced_reads_{0};
+  std::atomic<uint64_t> multiget_coalesced_blocks_{0};
   RecoveredState recovered_;  // staging between Recover and engine init
 };
 

@@ -99,6 +99,10 @@ DbStats& operator+=(DbStats& lhs, const DbStats& rhs) {
   lhs.arbiter_retunes += rhs.arbiter_retunes;
   lhs.arbiter_shifts += rhs.arbiter_shifts;
   lhs.mixed_level_retunes += rhs.mixed_level_retunes;
+  lhs.multiget_batches += rhs.multiget_batches;
+  lhs.multiget_keys += rhs.multiget_keys;
+  lhs.multiget_coalesced_reads += rhs.multiget_coalesced_reads;
+  lhs.multiget_coalesced_blocks += rhs.multiget_coalesced_blocks;
   return lhs;
 }
 

@@ -711,6 +711,92 @@ Status LeveledEngine::Get(const ReadOptions& options, const LookupKey& key,
   return Status::NotFound(Slice());
 }
 
+void LeveledEngine::MultiGet(const ReadOptions& options,
+                             MultiGetRequest* const* reqs, size_t count) {
+  TreeVersionPtr version = current_version();
+  std::vector<MultiGetRequest*> pending(reqs, reqs + count);
+
+  // Probes `node` with `subset` (pending keys its range covers).  Reader
+  // open errors become per-key statuses, mirroring Get's error return.
+  auto check_node = [&](const NodePtr& node,
+                        std::vector<MultiGetRequest*>& subset) {
+    if (subset.empty()) return;
+    std::shared_ptr<MSTableReader> reader;
+    Status s = node->OpenReader(db_->env(), db_->options().table, db_->icmp(),
+                                db_->dbname(), &reader);
+    if (!s.ok()) {
+      for (MultiGetRequest* r : subset) {
+        if (r->status.ok()) r->status = s;
+      }
+      return;
+    }
+    reader->MultiGet(options, subset.data(), subset.size());
+  };
+
+  auto drop_resolved = [&pending]() {
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [](const MultiGetRequest* r) {
+                                   return r->resolved();
+                                 }),
+                  pending.end());
+  };
+
+  // L0: newest file first, each probed with the pending keys it covers —
+  // the same per-key file visit order as Get.
+  const auto& l0 = version->level(0);
+  for (auto it = l0.rbegin(); it != l0.rend() && !pending.empty(); ++it) {
+    const NodePtr& node = *it;
+    if (node->empty()) continue;
+    std::vector<MultiGetRequest*> subset;
+    for (MultiGetRequest* r : pending) {
+      if (RangeCovered(node, r->lkey->user_key())) subset.push_back(r);
+    }
+    check_node(node, subset);
+    drop_resolved();
+  }
+
+  // Deeper levels: disjoint sorted ranges, so a run of consecutive sorted
+  // keys maps to one covering node and shares its bloom/index/blocks.
+  for (int level = 1; level < version->num_levels() && !pending.empty();
+       level++) {
+    const auto& nodes = version->level(level);
+    if (nodes.empty()) continue;
+    size_t i = 0;
+    while (i < pending.size()) {
+      Slice user_key = pending[i]->lkey->user_key();
+      // Binary search: first node with range_hi >= user_key.
+      size_t lo = 0, hi_idx = nodes.size();
+      while (lo < hi_idx) {
+        size_t mid = (lo + hi_idx) / 2;
+        if (Slice(nodes[mid]->range_hi).compare(user_key) < 0) {
+          lo = mid + 1;
+        } else {
+          hi_idx = mid;
+        }
+      }
+      if (lo >= nodes.size()) break;  // later keys are larger still
+      const NodePtr& node = nodes[lo];
+      if (!RangeCovered(node, user_key) || node->empty()) {
+        ++i;
+        continue;
+      }
+      // Keys after i that fall at or below this node's range_hi land in the
+      // same node (they are >= user_key >= range_lo).
+      std::vector<MultiGetRequest*> subset;
+      size_t j = i;
+      for (; j < pending.size(); ++j) {
+        if (Slice(node->range_hi).compare(pending[j]->lkey->user_key()) < 0) {
+          break;
+        }
+        subset.push_back(pending[j]);
+      }
+      check_node(node, subset);
+      i = j;
+    }
+    drop_resolved();
+  }
+}
+
 bool LeveledEngine::RangeCovered(const NodePtr& node,
                                  const Slice& user_key) const {
   return Slice(node->range_lo).compare(user_key) <= 0 &&

@@ -1,0 +1,32 @@
+// Batched point-lookup plumbing shared by DBImpl, the engines and the
+// table layer.  DBImpl::MultiGet builds one MultiGetRequest per key, probes
+// mem/imm, then hands the still-pending requests — sorted by internal key —
+// to TreeEngine::MultiGet.  Each layer resolves what it can and leaves the
+// rest pending for the next-older data; a request whose state leaves
+// kPending (or whose status turns non-OK) is final and must be skipped by
+// everything below.
+#pragma once
+
+#include <string>
+
+#include "core/dbformat.h"
+#include "util/status.h"
+
+namespace iamdb {
+
+struct MultiGetRequest {
+  enum class State { kPending, kFound, kDeleted, kCorrupt };
+
+  // Inputs, set once by DBImpl.  The LookupKey carries the batch's snapshot
+  // sequence, so internal-key order over a batch equals user-key order.
+  const LookupKey* lkey = nullptr;
+  std::string* value = nullptr;
+
+  // Resolution.
+  State state = State::kPending;
+  Status status;
+
+  bool resolved() const { return state != State::kPending || !status.ok(); }
+};
+
+}  // namespace iamdb

@@ -236,6 +236,15 @@ struct Options {
   LeveledOptions leveled;
 };
 
+// I/O accounting for one MultiGet batch.  DBImpl::MultiGet points
+// ReadOptions::batch at a stack instance; the table layer adds every
+// vectored device read that covered more than one block, and DBImpl folds
+// the totals into DbStats when the batch completes.
+struct MultiGetContext {
+  uint64_t coalesced_reads = 0;   // contiguous device runs covering 2+ blocks
+  uint64_t coalesced_blocks = 0;  // blocks fetched by those runs
+};
+
 struct ReadOptions {
   bool verify_checksums = false;
   bool fill_cache = true;
@@ -245,6 +254,9 @@ struct ReadOptions {
   // compaction-input reads so merge reads share the background I/O budget).
   // Not owned.
   RateLimiter* rate_limiter = nullptr;
+  // Non-null while serving a MultiGet batch (set by DBImpl::MultiGet, not
+  // by callers).  Not owned.
+  MultiGetContext* batch = nullptr;
 };
 
 struct WriteOptions {

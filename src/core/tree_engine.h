@@ -10,6 +10,7 @@
 
 #include "core/dbformat.h"
 #include "core/manifest.h"
+#include "core/multiget.h"
 #include "core/options.h"
 #include "core/version.h"
 #include "table/iterator.h"
@@ -58,6 +59,16 @@ class TreeEngine {
   virtual Status Get(const ReadOptions& options, const LookupKey& key,
                      std::string* value) = 0;
 
+  // Batched lock-free read: `reqs` are still-pending requests sorted by
+  // internal key, all at one snapshot sequence.  Keys are grouped by
+  // covering node per level so each table's bloom/index is consulted once
+  // per group and cache-missing data blocks coalesce into vectored device
+  // reads.  Outcomes land in each request's state/status; keys absent
+  // everywhere stay pending (the caller maps those to NotFound).
+  // Byte-equivalent to calling Get() per key.
+  virtual void MultiGet(const ReadOptions& options,
+                        MultiGetRequest* const* reqs, size_t count) = 0;
+
   // Appends internal-key iterators covering the whole tree (no DB mutex).
   // Iterators pin the version they read.
   virtual void AddIterators(const ReadOptions& options,
@@ -85,6 +96,16 @@ class TreeEngine {
 
   // Current published tree version (lock-free).
   virtual TreeVersionPtr current_version() const = 0;
+
+  // Monotone counter bumped BEFORE each version publication (lock-free).
+  // The read path's optimistic validation handle: a reader samples it
+  // before loading its snapshot sequence and re-checks after an engine
+  // probe comes back empty.  An unchanged stamp proves every version the
+  // probe could have seen was installed before the sequence load, whose
+  // compactions therefore only dropped entries shadowed at or below that
+  // sequence — so the NotFound is genuine (docs/CONCURRENCY.md, "Reads vs
+  // compaction garbage collection").
+  virtual uint64_t version_stamp() const = 0;
 
   // Validates structural invariants of the published version (range
   // disjointness, node-count thresholds, node size budgets).  Counts are

@@ -42,6 +42,27 @@ class CountingRandomAccessFile final : public RandomAccessFile {
     return s;
   }
 
+  // Charges one "seek" per contiguous run of segments, so coalesced batch
+  // reads show up as fewer read_ops than the same blocks read one by one.
+  Status ReadV(ReadRequest* reqs, size_t count) const override {
+    Status s = target_->ReadV(reqs, count);
+    uint64_t bytes = 0;
+    uint64_t seeks = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (!reqs[i].status.ok()) continue;
+      bytes += reqs[i].result.size();
+      if (i == 0 || !reqs[i - 1].status.ok() ||
+          reqs[i].offset != reqs[i - 1].offset + reqs[i - 1].n) {
+        ++seeks;
+      }
+    }
+    if (seeks > 0) {
+      stats_->RecordReadV(bytes, seeks);
+      OpIoScope::RecordReadV(bytes, seeks);
+    }
+    return s;
+  }
+
  private:
   std::unique_ptr<RandomAccessFile> target_;
   IoStats* stats_;

@@ -2,6 +2,16 @@
 
 namespace iamdb {
 
+Status RandomAccessFile::ReadV(ReadRequest* reqs, size_t count) const {
+  Status first;
+  for (size_t i = 0; i < count; ++i) {
+    ReadRequest& r = reqs[i];
+    r.status = Read(r.offset, r.n, &r.result, r.scratch);
+    if (!r.status.ok() && first.ok()) first = r.status;
+  }
+  return first;
+}
+
 Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname,
                          bool sync) {
   std::unique_ptr<WritableFile> file;

@@ -23,6 +23,16 @@ class SequentialFile {
   virtual Status Skip(uint64_t n) = 0;
 };
 
+// One segment of a vectored positional read (RandomAccessFile::ReadV).
+// offset/n/scratch are inputs; result/status are filled per segment.
+struct ReadRequest {
+  uint64_t offset = 0;
+  size_t n = 0;
+  char* scratch = nullptr;  // destination, at least n bytes
+  Slice result;             // points into scratch; may be short at EOF
+  Status status;
+};
+
 // Positional reads (table blocks).  Must be usable from multiple threads
 // concurrently.
 class RandomAccessFile {
@@ -30,6 +40,13 @@ class RandomAccessFile {
   virtual ~RandomAccessFile() = default;
   virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       char* scratch) const = 0;
+
+  // Vectored positional read.  Every segment is attempted and gets its own
+  // result/status; the return value is the first non-OK segment status (or
+  // OK).  The default loops over Read() so every Env and wrapper composes;
+  // implementations may override to issue fewer device operations for
+  // segments that are contiguous on disk (PosixEnv uses preadv).
+  virtual Status ReadV(ReadRequest* reqs, size_t count) const;
 };
 
 // Append-only writer (WAL, table builds, MSTable appends).

@@ -40,6 +40,58 @@ class FaultInjectionWritableFile final : public WritableFile {
   FaultInjectionEnv* env_;
 };
 
+// Read-side wrapper: consults the env's error schedule before every device
+// read.  ReadV draws the schedule once per segment so a vectored batch
+// replays identically to the equivalent loop of Read() calls; segments that
+// draw a fault fail individually and the survivors are still issued.
+class FaultInjectionRandomAccessFile final : public RandomAccessFile {
+ public:
+  FaultInjectionRandomAccessFile(std::string fname,
+                                 std::unique_ptr<RandomAccessFile> target,
+                                 FaultInjectionEnv* env)
+      : fname_(std::move(fname)), target_(std::move(target)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = env_->MaybeInjectRead(fname_);
+    if (!s.ok()) return s;
+    return target_->Read(offset, n, result, scratch);
+  }
+
+  Status ReadV(ReadRequest* reqs, size_t count) const override {
+    Status first;
+    std::vector<size_t> pass;
+    std::vector<ReadRequest> sub;
+    pass.reserve(count);
+    sub.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      Status s = env_->MaybeInjectRead(fname_);
+      if (!s.ok()) {
+        reqs[i].status = s;
+        reqs[i].result = Slice();
+        if (first.ok()) first = s;
+      } else {
+        pass.push_back(i);
+        sub.push_back(reqs[i]);
+      }
+    }
+    if (!sub.empty()) {
+      Status s = target_->ReadV(sub.data(), sub.size());
+      if (!s.ok() && first.ok()) first = s;
+      for (size_t i = 0; i < sub.size(); ++i) {
+        reqs[pass[i]].result = sub[i].result;
+        reqs[pass[i]].status = sub[i].status;
+      }
+    }
+    return first;
+  }
+
+ private:
+  const std::string fname_;
+  std::unique_ptr<RandomAccessFile> target_;
+  FaultInjectionEnv* env_;
+};
+
 void FaultInjectionEnv::SetFilesystemActive(bool active) {
   std::lock_guard<std::mutex> l(mu_);
   active_ = active;
@@ -161,6 +213,18 @@ Status FaultInjectionEnv::MaybeInject(FaultOp op, const std::string& ctx) {
   return Status::OK();
 }
 
+Status FaultInjectionEnv::MaybeInjectRead(const std::string& ctx) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (schedule_one_in_ != 0 && (schedule_mask_ & kFaultRead) != 0 &&
+      (!schedule_bounded_ || schedule_failures_left_ > 0)) {
+    if (schedule_rng_.Uniform(schedule_one_in_) == 0) {
+      if (schedule_bounded_) schedule_failures_left_--;
+      return Status::IOError("injected: scheduled fault", ctx);
+    }
+  }
+  return Status::OK();
+}
+
 void FaultInjectionEnv::RecordAppend(const std::string& fname, uint64_t n) {
   std::lock_guard<std::mutex> l(mu_);
   files_[fname].size += n;
@@ -170,6 +234,15 @@ void FaultInjectionEnv::RecordSync(const std::string& fname) {
   std::lock_guard<std::mutex> l(mu_);
   auto it = files_.find(fname);
   if (it != files_.end()) it->second.synced_size = it->second.size;
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  Status s = EnvWrapper::NewRandomAccessFile(fname, result);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultInjectionRandomAccessFile>(
+      fname, std::move(*result), this);
+  return Status::OK();
 }
 
 Status FaultInjectionEnv::NewWritableFile(

@@ -37,6 +37,7 @@ enum FaultOp : uint32_t {
   kFaultSync = 1u << 1,      // WritableFile::Sync
   kFaultRename = 1u << 2,    // Env::RenameFile
   kFaultAllocate = 1u << 3,  // NewWritableFile / NewAppendableFile
+  kFaultRead = 1u << 4,      // RandomAccessFile::Read / ReadV (per segment)
 };
 
 class FaultInjectionEnv : public EnvWrapper {
@@ -84,6 +85,9 @@ class FaultInjectionEnv : public EnvWrapper {
 
   // ---- Env overrides ----
 
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* result) override;
   Status NewAppendableFile(const std::string& fname,
@@ -97,6 +101,7 @@ class FaultInjectionEnv : public EnvWrapper {
 
  private:
   friend class FaultInjectionWritableFile;
+  friend class FaultInjectionRandomAccessFile;
 
   struct FileState {
     uint64_t size = 0;         // bytes appended so far
@@ -107,6 +112,12 @@ class FaultInjectionEnv : public EnvWrapper {
   // Returns the injected error for `op` on `ctx`, or OK.  Charges the
   // budget and advances the schedule RNG (so replay is exact).
   Status MaybeInject(FaultOp op, const std::string& ctx);
+
+  // Read-path injection: consults only the error schedule (reads keep
+  // working across crash simulation and never charge the write budget).
+  // One schedule draw per segment, so a ReadV of N segments replays
+  // identically to N Read() calls.
+  Status MaybeInjectRead(const std::string& ctx);
 
   void RecordAppend(const std::string& fname, uint64_t n);
   void RecordSync(const std::string& fname);

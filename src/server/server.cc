@@ -846,15 +846,22 @@ void Server::DoMultiGet(const Slice& payload, std::string* out) {
   ReadOptions read_options;
   read_options.snapshot = snapshot;
 
+  // One native MultiGet for the whole batch: the DB acquires its read view
+  // once and coalesces table I/O across the keys (docs/PROTOCOL.md).
+  std::vector<std::string> values(keys.size());
+  std::vector<Status> statuses(keys.size());
+  db_->MultiGet(read_options, keys.size(), keys.data(), values.data(),
+                statuses.data());
+  db_->ReleaseSnapshot(snapshot);
+
   std::vector<wire::MultiGetEntry> entries;
   entries.reserve(keys.size());
   size_t bytes = 0;
   Status overall = Status::OK();
-  for (const Slice& key : keys) {
+  for (size_t i = 0; i < keys.size(); i++) {
     wire::MultiGetEntry e;
-    Status s = db_->Get(read_options, key, &e.value);
-    if (!s.ok()) e.value.clear();
-    e.code = wire::CodeOf(s);
+    e.code = wire::CodeOf(statuses[i]);
+    if (statuses[i].ok()) e.value = std::move(values[i]);
     bytes += e.value.size();
     if (bytes > options_.max_scan_bytes) {
       overall = Status::InvalidArgument("MGET response exceeds size limit");
@@ -862,7 +869,6 @@ void Server::DoMultiGet(const Slice& payload, std::string* out) {
     }
     entries.push_back(std::move(e));
   }
-  db_->ReleaseSnapshot(snapshot);
 
   wire::EncodeStatus(overall, out);
   if (overall.ok()) wire::EncodeMultiGetResponse(entries, out);

@@ -314,9 +314,14 @@ enum StatsTag : uint32_t {
   kTagArbiterRetunes = 46,
   kTagArbiterShifts = 47,
   kTagMixedLevelRetunes = 48,
+  // Batched MultiGet gauges.
+  kTagMultiGetBatches = 49,
+  kTagMultiGetKeys = 50,
+  kTagMultiGetCoalescedReads = 51,
+  kTagMultiGetCoalescedBlocks = 52,
 };
 
-static_assert(kTagMixedLevelRetunes == kMaxDbStatsTag,
+static_assert(kTagMultiGetCoalescedBlocks == kMaxDbStatsTag,
               "bump wire::kMaxDbStatsTag when adding a StatsTag");
 
 void PutField(std::string* dst, uint32_t tag, const std::string& bytes) {
@@ -450,6 +455,18 @@ void EncodeDbStats(const DbStats& stats, std::string* dst) {
     PutU64Field(dst, kTagArbiterRetunes, stats.arbiter_retunes);
     PutU64Field(dst, kTagArbiterShifts, stats.arbiter_shifts);
     PutU64Field(dst, kTagMixedLevelRetunes, stats.mixed_level_retunes);
+  }
+  // MultiGet tags, omitted as a group until the first batched read so a
+  // Get-only snapshot keeps its historical byte layout.
+  if (stats.multiget_batches != 0 || stats.multiget_keys != 0 ||
+      stats.multiget_coalesced_reads != 0 ||
+      stats.multiget_coalesced_blocks != 0) {
+    PutU64Field(dst, kTagMultiGetBatches, stats.multiget_batches);
+    PutU64Field(dst, kTagMultiGetKeys, stats.multiget_keys);
+    PutU64Field(dst, kTagMultiGetCoalescedReads,
+                stats.multiget_coalesced_reads);
+    PutU64Field(dst, kTagMultiGetCoalescedBlocks,
+                stats.multiget_coalesced_blocks);
   }
 }
 
@@ -624,6 +641,18 @@ bool DecodeDbStats(Slice payload, DbStats* stats) {
         break;
       case kTagMixedLevelRetunes:
         if (!get_u64(&stats->mixed_level_retunes)) return false;
+        break;
+      case kTagMultiGetBatches:
+        if (!get_u64(&stats->multiget_batches)) return false;
+        break;
+      case kTagMultiGetKeys:
+        if (!get_u64(&stats->multiget_keys)) return false;
+        break;
+      case kTagMultiGetCoalescedReads:
+        if (!get_u64(&stats->multiget_coalesced_reads)) return false;
+        break;
+      case kTagMultiGetCoalescedBlocks:
+        if (!get_u64(&stats->multiget_coalesced_blocks)) return false;
         break;
       default:
         break;  // forward compatibility: skip unknown field

@@ -157,7 +157,7 @@ bool DecodeMultiGetResponse(Slice payload,
 // every tag in [1, kMaxDbStatsTag] and fails on any it does not cover, so
 // a new field cannot silently skip the codec, the aggregation operator, or
 // the tests.
-constexpr uint32_t kMaxDbStatsTag = 48;
+constexpr uint32_t kMaxDbStatsTag = 52;
 void EncodeDbStats(const DbStats& stats, std::string* dst);
 bool DecodeDbStats(Slice payload, DbStats* stats);
 

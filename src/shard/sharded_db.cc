@@ -287,6 +287,47 @@ Status ShardedDB::Get(const ReadOptions& options, const Slice& key,
   return shards_[shard]->Get(RouteRead(options, shard), key, value);
 }
 
+void ShardedDB::MultiGet(const ReadOptions& options, size_t count,
+                         const Slice* keys, std::string* values,
+                         Status* statuses) {
+  if (count == 0) return;
+  if (shards_.size() == 1) {
+    shards_[0]->MultiGet(RouteRead(options, 0), count, keys, values,
+                         statuses);
+    return;
+  }
+
+  // Group key indices per owning shard, preserving batch order within each
+  // group, then issue one native MultiGet per non-empty shard and scatter
+  // the per-key results back.  Without an explicit snapshot each shard
+  // picks its own read point (shard order) — the same view GetSnapshot()
+  // would have pinned.
+  std::vector<std::vector<size_t>> groups(shards_.size());
+  for (size_t i = 0; i < count; i++) {
+    groups[ShardOf(keys[i], map_.num_shards)].push_back(i);
+  }
+
+  std::vector<Slice> shard_keys;
+  std::vector<std::string> shard_values;
+  std::vector<Status> shard_statuses;
+  for (uint32_t shard = 0; shard < shards_.size(); shard++) {
+    const std::vector<size_t>& idx = groups[shard];
+    if (idx.empty()) continue;
+    shard_keys.clear();
+    shard_keys.reserve(idx.size());
+    for (size_t i : idx) shard_keys.push_back(keys[i]);
+    shard_values.assign(idx.size(), std::string());
+    shard_statuses.assign(idx.size(), Status::OK());
+    shards_[shard]->MultiGet(RouteRead(options, shard), idx.size(),
+                             shard_keys.data(), shard_values.data(),
+                             shard_statuses.data());
+    for (size_t j = 0; j < idx.size(); j++) {
+      values[idx[j]] = std::move(shard_values[j]);
+      statuses[idx[j]] = std::move(shard_statuses[j]);
+    }
+  }
+}
+
 Iterator* ShardedDB::NewIterator(const ReadOptions& options) {
   // Pin one snapshot per shard for the merge so the view is per-shard
   // consistent even while writers land on other shards mid-scan.

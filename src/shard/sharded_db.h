@@ -68,6 +68,11 @@ class ShardedDB final : public DB {
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
+  // Groups the batch per owning shard and issues one native MultiGet per
+  // shard, so coalesced table I/O survives sharding.  Read-point contract
+  // matches GetSnapshot(): one snapshot per shard, taken in shard order.
+  void MultiGet(const ReadOptions& options, size_t count, const Slice* keys,
+                std::string* values, Status* statuses) override;
   Iterator* NewIterator(const ReadOptions& options) override;
   const Snapshot* GetSnapshot() override;
   void ReleaseSnapshot(const Snapshot* snapshot) override;

@@ -19,6 +19,13 @@ void OpIoScope::RecordRead(uint64_t bytes) {
   }
 }
 
+void OpIoScope::RecordReadV(uint64_t bytes, uint64_t seeks) {
+  if (tls_op_ctx != nullptr) {
+    tls_op_ctx->seeks += seeks;
+    tls_op_ctx->bytes_read += bytes;
+  }
+}
+
 void OpIoScope::RecordWrite(uint64_t bytes) {
   if (tls_op_ctx != nullptr) tls_op_ctx->bytes_written += bytes;
 }

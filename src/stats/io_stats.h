@@ -37,6 +37,13 @@ class IoStats {
     bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
     read_ops_.fetch_add(1, std::memory_order_relaxed);
   }
+  // A vectored read: `seeks` distinct device positions covering `bytes`
+  // total.  Coalesced segments cost one seek, so ReadV accounting shows
+  // fewer read_ops than the equivalent loop of Read() calls.
+  void RecordReadV(uint64_t bytes, uint64_t seeks) {
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_ops_.fetch_add(seeks, std::memory_order_relaxed);
+  }
   void RecordSync() { fsyncs_.fetch_add(1, std::memory_order_relaxed); }
 
   IoStatsSnapshot Snapshot() const {
@@ -90,6 +97,7 @@ class OpIoScope {
 
   // Static recording hooks used by CountingEnv / stall logic.
   static void RecordRead(uint64_t bytes);
+  static void RecordReadV(uint64_t bytes, uint64_t seeks);
   static void RecordWrite(uint64_t bytes);
   static void RecordStall(uint64_t micros);
 

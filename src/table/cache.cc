@@ -62,6 +62,24 @@ void LruCache::Insert(const BlockCacheKey& key, ValuePtr value, size_t charge) {
   shard->EvictIfNeeded();
 }
 
+LruCache::ValuePtr LruCache::InsertIfAbsent(const BlockCacheKey& key,
+                                            ValuePtr value, size_t charge) {
+  Shard* shard = GetShard(key);
+  std::lock_guard<std::mutex> l(shard->mu);
+  auto [it, inserted] = shard->index.try_emplace(key);
+  if (!inserted) {
+    // Lost the fill race: keep the resident copy, just promote it.
+    shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+    return it->second->value;
+  }
+  ValuePtr resident = value;  // survives even if eviction reclaims the entry
+  shard->lru.push_front(Shard::Entry{key, std::move(value), charge});
+  it->second = shard->lru.begin();
+  shard->usage += charge;
+  shard->EvictIfNeeded();
+  return resident;
+}
+
 LruCache::ValuePtr LruCache::Lookup(const BlockCacheKey& key) {
   Shard* shard = GetShard(key);
   std::lock_guard<std::mutex> l(shard->mu);

@@ -54,6 +54,13 @@ class LruCache {
   // evicted.
   void Insert(const BlockCacheKey& key, ValuePtr value, size_t charge);
 
+  // Insert only if the key is absent, returning the resident value either
+  // way.  Concurrent readers that miss on the same block race to fill it;
+  // the loser adopts the winner's copy instead of replacing it, so a block
+  // is never charged (or allocated downstream) twice.
+  ValuePtr InsertIfAbsent(const BlockCacheKey& key, ValuePtr value,
+                          size_t charge);
+
   // Returns the value or nullptr; promotes the entry to most-recent.
   // Allocation-free on both hit and miss.
   ValuePtr Lookup(const BlockCacheKey& key);

@@ -60,6 +60,32 @@ Status MSTableTrailer::DecodeFrom(const Slice& input) {
   return Status::OK();
 }
 
+Status CheckBlockTrailer(const char* data, uint64_t payload_size,
+                         bool verify_checksums, uint32_t format_version,
+                         CompressionType* type) {
+  const size_t n = static_cast<size_t>(payload_size);
+  const size_t trailer = static_cast<size_t>(BlockTrailerSize(format_version));
+  *type = CompressionType::kNone;
+  // The CRC covers payload + type tag (v2) or bare contents (v1).
+  const size_t crc_covered = n + trailer - 4;
+  if (verify_checksums) {
+    const uint32_t expected =
+        crc32c::Unmask(DecodeFixed32(data + crc_covered));
+    const uint32_t actual = crc32c::Value(data, crc_covered);
+    if (expected != actual) {
+      return Status::Corruption("block checksum mismatch");
+    }
+  }
+  if (format_version >= kFormatVersion2) {
+    const uint8_t tag = static_cast<uint8_t>(data[n]);
+    if (tag > static_cast<uint8_t>(CompressionType::kLz)) {
+      return Status::Corruption("unknown block compression tag");
+    }
+    *type = static_cast<CompressionType>(tag);
+  }
+  return Status::OK();
+}
+
 Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
                          bool verify_checksums, uint32_t format_version,
                          std::string* contents, CompressionType* type) {
@@ -75,23 +101,9 @@ Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
   if (result.size() != n + trailer) {
     return Status::Corruption("truncated block read");
   }
-  // The CRC covers payload + type tag (v2) or bare contents (v1).
-  const size_t crc_covered = n + trailer - 4;
-  if (verify_checksums) {
-    const uint32_t expected =
-        crc32c::Unmask(DecodeFixed32(result.data() + crc_covered));
-    const uint32_t actual = crc32c::Value(result.data(), crc_covered);
-    if (expected != actual) {
-      return Status::Corruption("block checksum mismatch");
-    }
-  }
-  if (format_version >= kFormatVersion2) {
-    const uint8_t tag = static_cast<uint8_t>(result.data()[n]);
-    if (tag > static_cast<uint8_t>(CompressionType::kLz)) {
-      return Status::Corruption("unknown block compression tag");
-    }
-    *type = static_cast<CompressionType>(tag);
-  }
+  s = CheckBlockTrailer(result.data(), n, verify_checksums, format_version,
+                        type);
+  if (!s.ok()) return s;
   // The read may have landed elsewhere (mmap-style envs return internal
   // pointers); normalize into *contents.
   if (result.data() != contents->data()) {

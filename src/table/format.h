@@ -109,6 +109,14 @@ struct MSTableTrailer {
   Status DecodeFrom(const Slice& input);
 };
 
+// Verifies the trailer of a block already in memory: `data` must hold the
+// stored payload (`payload_size` bytes) followed by the block trailer,
+// exactly as read from the device.  Fills *type from the v2 tag (kNone on
+// v1).  Shared by ReadBlockContents and the vectored MultiGet read path.
+Status CheckBlockTrailer(const char* data, uint64_t payload_size,
+                         bool verify_checksums, uint32_t format_version,
+                         CompressionType* type);
+
 // Reads the block named by `handle`, verifying its CRC, and reports the
 // stored payload (still compressed when *type != kNone — the caller
 // decompresses via DecompressBlock).  On success, *contents owns the bytes.

@@ -372,6 +372,22 @@ Status MSTableReader::Get(const ReadOptions& options, const Slice& ikey,
   return Status::OK();
 }
 
+void MSTableReader::MultiGet(const ReadOptions& options,
+                             MultiGetRequest* const* reqs,
+                             size_t count) const {
+  // Newest sequence first, narrowing to the keys still pending after each —
+  // the batched mirror of Get()'s first-visible-version rule.
+  std::vector<MultiGetRequest*> pending(reqs, reqs + count);
+  for (int i = seq_count() - 1; i >= 0 && !pending.empty(); i--) {
+    sequences_[i]->MultiGet(options, pending.data(), pending.size());
+    pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                 [](const MultiGetRequest* r) {
+                                   return r->resolved();
+                                 }),
+                  pending.end());
+  }
+}
+
 Iterator* MSTableReader::NewIterator(const ReadOptions& options) const {
   std::vector<Iterator*> iters;
   AddSequenceIterators(options, &iters);

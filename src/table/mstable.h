@@ -142,6 +142,15 @@ class MSTableReader {
   Status Get(const ReadOptions& options, const Slice& ikey, std::string* value,
              GetState* state) const;
 
+  // Batched point lookup: `reqs` are pending requests sorted by internal
+  // key.  Each sequence (newest first) is probed with the keys the younger
+  // sequences left pending; per sequence the bloom filter and index are
+  // consulted once per key and cache-missing data blocks are fetched with
+  // one vectored read.  Per-key outcomes land in each request's
+  // state/status; byte-equivalent to calling Get() per key.
+  void MultiGet(const ReadOptions& options, MultiGetRequest* const* reqs,
+                size_t count) const;
+
   // Merged iterator over all sequences (newest-first tie order).
   Iterator* NewIterator(const ReadOptions& options) const;
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/dbformat.h"
+#include "core/multiget.h"
 #include "core/options.h"
 #include "table/block.h"
 #include "table/bloom.h"
@@ -46,6 +47,16 @@ class SequenceReader {
   Status Get(const ReadOptions& options, const Slice& ikey, std::string* value,
              GetState* state) const;
 
+  // Batched lookup.  `reqs` are still-pending requests sorted by internal
+  // key.  The bloom filter and in-memory index are consulted once per key;
+  // all cache-missing data blocks are fetched with a single vectored ReadV
+  // (adjacent blocks coalesce into one device read) and inserted into each
+  // cache tier at most once.  Requests resolved here get state/status set;
+  // the rest stay pending for older sequences/levels.  Byte-equivalent to
+  // calling Get() per key.
+  void MultiGet(const ReadOptions& options, MultiGetRequest* const* reqs,
+                size_t count) const;
+
   // Iterator over the full sequence (internal keys).
   Iterator* NewIterator(const ReadOptions& options) const;
 
@@ -55,6 +66,20 @@ class SequenceReader {
   std::shared_ptr<const Block> ReadDataBlock(const ReadOptions& options,
                                              const BlockHandle& handle,
                                              Status* s) const;
+  // Final leg of a block fetch whose stored payload is already in memory:
+  // optionally parks the compressed form in the compressed tier, then
+  // decompresses and inserts into the uncompressed tier (both via
+  // InsertIfAbsent so concurrent fillers never double-charge a block).
+  // `from_compressed_tier` skips the compressed-tier insert.
+  std::shared_ptr<const Block> FinishBlock(const ReadOptions& options,
+                                           const BlockCacheKey& key,
+                                           std::string&& stored,
+                                           CompressionType type,
+                                           bool from_compressed_tier,
+                                           Status* s) const;
+  // Resolves one request against a loaded data block (shared by Get's tail
+  // and MultiGet).
+  void ResolveInBlock(const Block& block, MultiGetRequest* req) const;
 
   const TableOptions options_;
   const InternalKeyComparator* cmp_;

@@ -113,9 +113,18 @@ class PublishedPtr {
     return *ptr_.load(std::memory_order_acquire);
   }
 
+  // Publication counter for optimistic read validation.  Bumped BEFORE the
+  // pointer swap in Store(): a reader that observes a new pointer is
+  // therefore guaranteed to observe the bump on its next stamp() load (the
+  // bump is sequenced before the release exchange the reader's acquire
+  // load synchronized with).  An unchanged stamp across a read brackets
+  // the read to pointers published before the first sample.
+  uint64_t stamp() const { return stamp_.load(std::memory_order_acquire); }
+
   // REQUIRES: stores are serialized by the caller (DB mutex).  Readers are
   // never blocked; old values are reclaimed once provably unreferenced.
   void Store(std::shared_ptr<T> desired) {
+    stamp_.fetch_add(1, std::memory_order_release);
     auto* fresh = new std::shared_ptr<T>(std::move(desired));
     std::shared_ptr<T>* old =
         ptr_.exchange(fresh, std::memory_order_acq_rel);
@@ -170,6 +179,7 @@ class PublishedPtr {
 
   std::atomic<std::shared_ptr<T>*> ptr_;
   std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> stamp_{0};
   mutable Slot slots_[kSlots];
   std::vector<Retired> retired_;  // writer-side only (serialized)
 };

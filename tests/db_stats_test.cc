@@ -72,6 +72,10 @@ DbStats MakeStats(uint64_t base) {
   s.arbiter_retunes = 44 + base;
   s.arbiter_shifts = 45 + base;
   s.mixed_level_retunes = 46 + base;
+  s.multiget_batches = 47 + base;
+  s.multiget_keys = 48 + base;
+  s.multiget_coalesced_reads = 49 + base;
+  s.multiget_coalesced_blocks = 51 + base;
   return s;
 }
 
@@ -162,6 +166,10 @@ TEST(DbStatsCodecTest, Roundtrip) {
   EXPECT_EQ(out.arbiter_retunes, in.arbiter_retunes);
   EXPECT_EQ(out.arbiter_shifts, in.arbiter_shifts);
   EXPECT_EQ(out.mixed_level_retunes, in.mixed_level_retunes);
+  EXPECT_EQ(out.multiget_batches, in.multiget_batches);
+  EXPECT_EQ(out.multiget_keys, in.multiget_keys);
+  EXPECT_EQ(out.multiget_coalesced_reads, in.multiget_coalesced_reads);
+  EXPECT_EQ(out.multiget_coalesced_blocks, in.multiget_coalesced_blocks);
 }
 
 // A compression-off snapshot must keep its historical layout: the tags are
@@ -219,6 +227,30 @@ TEST(DbStatsCodecTest, ArbiterTagsOmittedWhenOff) {
   tags = TagsOf(encoded);
   for (uint32_t tag = 43; tag <= 48; tag++) {
     EXPECT_EQ(tags.count(tag), 1u) << "active arbiter tag " << tag;
+  }
+}
+
+// Same layout guard for the multiget group: a Get-only snapshot must not
+// grow new tags until the first batched read.
+TEST(DbStatsCodecTest, MultiGetTagsOmittedWhenIdle) {
+  DbStats s = MakeStats(1);
+  s.multiget_batches = 0;
+  s.multiget_keys = 0;
+  s.multiget_coalesced_reads = 0;
+  s.multiget_coalesced_blocks = 0;
+  std::string encoded;
+  wire::EncodeDbStats(s, &encoded);
+  std::map<uint32_t, std::string> tags = TagsOf(encoded);
+  for (uint32_t tag = 49; tag <= 52; tag++) {
+    EXPECT_EQ(tags.count(tag), 0u) << "idle multiget tag " << tag;
+  }
+  // A single nonzero member pulls the whole group in.
+  s.multiget_batches = 2;
+  encoded.clear();
+  wire::EncodeDbStats(s, &encoded);
+  tags = TagsOf(encoded);
+  for (uint32_t tag = 49; tag <= 52; tag++) {
+    EXPECT_EQ(tags.count(tag), 1u) << "active multiget tag " << tag;
   }
 }
 
@@ -445,6 +477,21 @@ TEST(DbStatsAggregationTest, EveryTagHasAggregationSemantics) {
       case 48:
         EXPECT_EQ(sum.mixed_level_retunes,
                   a.mixed_level_retunes + b.mixed_level_retunes);
+        break;
+      case 49:
+        EXPECT_EQ(sum.multiget_batches,
+                  a.multiget_batches + b.multiget_batches);
+        break;
+      case 50:
+        EXPECT_EQ(sum.multiget_keys, a.multiget_keys + b.multiget_keys);
+        break;
+      case 51:
+        EXPECT_EQ(sum.multiget_coalesced_reads,
+                  a.multiget_coalesced_reads + b.multiget_coalesced_reads);
+        break;
+      case 52:
+        EXPECT_EQ(sum.multiget_coalesced_blocks,
+                  a.multiget_coalesced_blocks + b.multiget_coalesced_blocks);
         break;
       default:
         ADD_FAILURE() << "tag " << tag

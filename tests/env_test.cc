@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <filesystem>
 #include <vector>
@@ -75,6 +76,29 @@ TEST_F(MemEnvTest, RandomAccessReads) {
   EXPECT_EQ("89", result.ToString());
   ASSERT_TRUE(f->Read(20, 4, &result, scratch).ok());
   EXPECT_TRUE(result.empty());
+}
+
+// MemEnv does not override ReadV, so this exercises the base-class
+// fallback: one Read per segment, first error wins, short/past-EOF
+// segments come back empty without failing the batch.
+TEST_F(MemEnvTest, ReadVDefaultFallbackMatchesReads) {
+  ASSERT_TRUE(
+      WriteStringToFile(&env_, "0123456789abcdef", "/f", false).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_.NewRandomAccessFile("/f", &f).ok());
+
+  char s0[4], s1[4], s2[8], s3[4];
+  ReadRequest reqs[4];
+  reqs[0] = {0, 4, s0, Slice(), Status::OK()};
+  reqs[1] = {4, 4, s1, Slice(), Status::OK()};    // contiguous with [0]
+  reqs[2] = {12, 8, s2, Slice(), Status::OK()};   // crosses EOF: short
+  reqs[3] = {100, 4, s3, Slice(), Status::OK()};  // fully past EOF: empty
+  ASSERT_TRUE(f->ReadV(reqs, 4).ok());
+  EXPECT_EQ("0123", reqs[0].result.ToString());
+  EXPECT_EQ("4567", reqs[1].result.ToString());
+  EXPECT_EQ("cdef", reqs[2].result.ToString());
+  EXPECT_TRUE(reqs[3].result.empty());
+  for (const ReadRequest& r : reqs) EXPECT_TRUE(r.status.ok());
 }
 
 TEST_F(MemEnvTest, GetChildrenListsOnlyDirectEntries) {
@@ -163,6 +187,55 @@ TEST_F(PosixEnvTest, AppendableAndRandomAccess) {
   EXPECT_EQ("world", result.ToString());
 }
 
+// PosixEnv overrides ReadV with preadv over contiguous runs; results must
+// be indistinguishable from per-segment pread, including short reads at
+// EOF in the middle of a run.
+TEST_F(PosixEnvTest, ReadVCoalescedAndScattered) {
+  std::string payload;
+  for (int i = 0; i < 256; i++) payload.push_back(static_cast<char>(i));
+  ASSERT_TRUE(WriteStringToFile(env_, payload, Path("f"), true).ok());
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env_->NewRandomAccessFile(Path("f"), &r).ok());
+
+  char scratch[5][64];
+  ReadRequest reqs[5];
+  reqs[0] = {0, 16, scratch[0], Slice(), Status::OK()};
+  reqs[1] = {16, 16, scratch[1], Slice(), Status::OK()};   // run with [0]
+  reqs[2] = {32, 16, scratch[2], Slice(), Status::OK()};   // run with [1]
+  reqs[3] = {128, 32, scratch[3], Slice(), Status::OK()};  // gap: new run
+  reqs[4] = {240, 64, scratch[4], Slice(), Status::OK()};  // short at EOF
+  ASSERT_TRUE(r->ReadV(reqs, 5).ok());
+  EXPECT_EQ(payload.substr(0, 16), reqs[0].result.ToString());
+  EXPECT_EQ(payload.substr(16, 16), reqs[1].result.ToString());
+  EXPECT_EQ(payload.substr(32, 16), reqs[2].result.ToString());
+  EXPECT_EQ(payload.substr(128, 32), reqs[3].result.ToString());
+  EXPECT_EQ(payload.substr(240, 16), reqs[4].result.ToString());
+  for (const ReadRequest& req : reqs) EXPECT_TRUE(req.status.ok());
+}
+
+// More contiguous segments than one preadv can carry (kMaxIov = 64): the
+// implementation must chain calls without dropping or reordering bytes.
+TEST_F(PosixEnvTest, ReadVRunLongerThanIovLimit) {
+  std::string payload(100 * 8, 'x');
+  for (size_t i = 0; i < payload.size(); i++) {
+    payload[i] = static_cast<char>('a' + (i / 8) % 26);
+  }
+  ASSERT_TRUE(WriteStringToFile(env_, payload, Path("f"), true).ok());
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env_->NewRandomAccessFile(Path("f"), &r).ok());
+
+  std::vector<std::array<char, 8>> scratch(100);
+  std::vector<ReadRequest> reqs(100);
+  for (size_t i = 0; i < 100; i++) {
+    reqs[i] = {i * 8, 8, scratch[i].data(), Slice(), Status::OK()};
+  }
+  ASSERT_TRUE(r->ReadV(reqs.data(), reqs.size()).ok());
+  for (size_t i = 0; i < 100; i++) {
+    EXPECT_EQ(payload.substr(i * 8, 8), reqs[i].result.ToString()) << i;
+  }
+}
+
 TEST_F(PosixEnvTest, GetChildrenAndRemove) {
   ASSERT_TRUE(WriteStringToFile(env_, "1", Path("a"), false).ok());
   ASSERT_TRUE(WriteStringToFile(env_, "2", Path("b"), false).ok());
@@ -200,6 +273,35 @@ TEST(CountingEnvTest, CountsReadsWritesSyncs) {
   snap = stats.Snapshot();
   EXPECT_EQ(200u, snap.bytes_read);
   EXPECT_EQ(2u, snap.read_ops);
+}
+
+// A vectored read is charged one read_op ("seek") per contiguous run, not
+// per segment — this is the signal the MultiGet coalescing test asserts on
+// (fewer device reads for the same blocks).
+TEST(CountingEnvTest, ReadVChargesOneOpPerContiguousRun) {
+  MemEnv base;
+  IoStats stats;
+  CountingEnv env(&base, &stats);
+  ASSERT_TRUE(
+      WriteStringToFile(&env, std::string(4096, 'x'), "/f", false).ok());
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &r).ok());
+
+  // Three segments, two contiguous + one after a gap: 2 runs, 3 * 64 bytes.
+  char scratch[3][64];
+  ReadRequest reqs[3];
+  reqs[0] = {0, 64, scratch[0], Slice(), Status::OK()};
+  reqs[1] = {64, 64, scratch[1], Slice(), Status::OK()};
+  reqs[2] = {1024, 64, scratch[2], Slice(), Status::OK()};
+  {
+    OpIoScope scope;
+    ASSERT_TRUE(r->ReadV(reqs, 3).ok());
+    EXPECT_EQ(2u, scope.context().seeks);
+    EXPECT_EQ(192u, scope.context().bytes_read);
+  }
+  IoStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(2u, snap.read_ops);
+  EXPECT_EQ(192u, snap.bytes_read);
 }
 
 TEST(CountingEnvTest, OpIoScopeCapturesPerOperationIo) {
@@ -401,6 +503,90 @@ TEST_F(FaultInjectionEnvTest, ErrorScheduleIsSeedDeterministic) {
   EXPECT_EQ(runs[0], runs[1]);
   EXPECT_NE(std::count(runs[0].begin(), runs[0].end(), false), 0);
   fault_.ClearErrorSchedule();
+}
+
+TEST_F(FaultInjectionEnvTest, ReadScheduleFailsSegmentsDeterministically) {
+  ASSERT_TRUE(
+      WriteStringToFile(&fault_, std::string(1024, 'r'), "/f", true).ok());
+
+  // One RNG draw per segment: a 64-segment ReadV must replay exactly like
+  // 64 sequential Read() calls under the same seed.
+  std::vector<bool> loop_ok, vec_ok;
+  fault_.SetErrorSchedule(kFaultRead, /*seed=*/99, /*one_in=*/4);
+  {
+    std::unique_ptr<RandomAccessFile> f;
+    ASSERT_TRUE(fault_.NewRandomAccessFile("/f", &f).ok());
+    char scratch[16];
+    Slice result;
+    for (int i = 0; i < 64; i++) {
+      loop_ok.push_back(f->Read(i * 16, 16, &result, scratch).ok());
+    }
+  }
+  fault_.SetErrorSchedule(kFaultRead, /*seed=*/99, /*one_in=*/4);
+  {
+    std::unique_ptr<RandomAccessFile> f;
+    ASSERT_TRUE(fault_.NewRandomAccessFile("/f", &f).ok());
+    std::vector<std::array<char, 16>> scratch(64);
+    std::vector<ReadRequest> reqs(64);
+    for (size_t i = 0; i < 64; i++) {
+      reqs[i] = {i * 16, 16, scratch[i].data(), Slice(), Status::OK()};
+    }
+    f->ReadV(reqs.data(), reqs.size());
+    for (const ReadRequest& r : reqs) vec_ok.push_back(r.status.ok());
+  }
+  fault_.ClearErrorSchedule();
+
+  EXPECT_EQ(loop_ok, vec_ok);
+  EXPECT_NE(std::count(loop_ok.begin(), loop_ok.end(), false), 0);
+}
+
+TEST_F(FaultInjectionEnvTest, ReadVSurvivorsSucceedAroundFailedSegments) {
+  std::string payload;
+  for (int i = 0; i < 64; i++) payload.push_back(static_cast<char>('A' + i % 26));
+  ASSERT_TRUE(WriteStringToFile(&fault_, payload, "/f", true).ok());
+
+  // Injected failures surface per segment; the survivors still carry the
+  // right bytes rather than being poisoned by their failed neighbours.
+  // Scan a few seeds so the assertion covers batches with both outcomes.
+  int total_failures = 0;
+  for (uint64_t seed = 1; seed <= 8; seed++) {
+    fault_.SetErrorSchedule(kFaultRead, seed, /*one_in=*/2);
+    std::unique_ptr<RandomAccessFile> f;
+    ASSERT_TRUE(fault_.NewRandomAccessFile("/f", &f).ok());
+    std::vector<std::array<char, 4>> scratch(16);
+    std::vector<ReadRequest> reqs(16);
+    for (size_t i = 0; i < 16; i++) {
+      reqs[i] = {i * 4, 4, scratch[i].data(), Slice(), Status::OK()};
+    }
+    f->ReadV(reqs.data(), reqs.size());
+    for (size_t i = 0; i < 16; i++) {
+      if (!reqs[i].status.ok()) {
+        total_failures++;
+        EXPECT_TRUE(reqs[i].result.empty());
+      } else {
+        EXPECT_EQ(payload.substr(i * 4, 4), reqs[i].result.ToString()) << i;
+      }
+    }
+  }
+  fault_.ClearErrorSchedule();
+  EXPECT_GT(total_failures, 0);
+}
+
+TEST_F(FaultInjectionEnvTest, ReadsNeverChargeWriteBudget) {
+  ASSERT_TRUE(WriteStringToFile(&fault_, "abcd", "/f", true).ok());
+  fault_.SetWriteBudget(1);
+
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(fault_.NewRandomAccessFile("/f", &f).ok());
+  char scratch[4];
+  Slice result;
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(f->Read(0, 4, &result, scratch).ok());
+  }
+  // The budget is still intact for the write path.
+  std::unique_ptr<WritableFile> w;
+  EXPECT_TRUE(fault_.NewWritableFile("/g", &w).ok());
+  fault_.Heal();
 }
 
 TEST_F(FaultInjectionEnvTest, RenameMovesTrackedState) {

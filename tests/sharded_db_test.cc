@@ -316,6 +316,60 @@ TEST(ShardedEquivalenceTest, AllEnginesAllShardCounts) {
   }
 }
 
+// Batched reads group keys per shard and issue one native MultiGet each;
+// results must match per-key routed Gets, including at a pinned sharded
+// snapshot.
+TEST(ShardedMultiGetTest, MatchesPerKeyGets) {
+  const uint64_t seed = test::TestSeed(20260808);
+  for (int num_shards : {1, 2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    MemEnv env;
+    Options options = MakeOptions(&env, kEngines[2]);
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(ShardedDB::Open(options, "/db", num_shards, &db).ok());
+
+    std::mt19937_64 rng(seed + num_shards);
+    constexpr int kKeySpace = 300;
+    for (int i = 0; i < 900; i++) {
+      const std::string key = Key(static_cast<int>(rng() % kKeySpace));
+      if (rng() % 5 == 0) {
+        ASSERT_TRUE(db->Delete(WriteOptions(), key).ok());
+      } else {
+        ASSERT_TRUE(
+            db->Put(WriteOptions(), key, "v" + std::to_string(i)).ok());
+      }
+    }
+
+    const Snapshot* snap = db->GetSnapshot();
+    for (int i = 0; i < kKeySpace; i += 2) {
+      ASSERT_TRUE(db->Put(WriteOptions(), Key(i), "post-snap").ok());
+    }
+
+    std::vector<std::string> keys;
+    for (int i = 0; i < kKeySpace + 10; i++) keys.push_back(Key(i));
+    keys.push_back(keys[3]);  // duplicate
+    std::vector<Slice> slices;
+    for (const std::string& k : keys) slices.emplace_back(k);
+
+    for (bool pinned : {false, true}) {
+      ReadOptions ro;
+      if (pinned) ro.snapshot = snap;
+      std::vector<std::string> values(keys.size());
+      std::vector<Status> statuses(keys.size());
+      db->MultiGet(ro, slices.size(), slices.data(), values.data(),
+                   statuses.data());
+      for (size_t i = 0; i < keys.size(); i++) {
+        std::string expect_value;
+        Status expect = db->Get(ro, keys[i], &expect_value);
+        ASSERT_EQ(expect.ok(), statuses[i].ok()) << keys[i];
+        ASSERT_EQ(expect.IsNotFound(), statuses[i].IsNotFound()) << keys[i];
+        if (expect.ok()) ASSERT_EQ(expect_value, values[i]) << keys[i];
+      }
+    }
+    db->ReleaseSnapshot(snap);
+  }
+}
+
 // --- snapshots ------------------------------------------------------------
 
 TEST(ShardedSnapshotTest, SnapshotPinsPerShardViews) {

@@ -111,6 +111,20 @@ void PrintStats(const DbStats& stats) {
   std::printf("io:                %" PRIu64 "B written / %" PRIu64
               "B read / %" PRIu64 " fsyncs\n",
               stats.io.bytes_written, stats.io.bytes_read, stats.io.fsyncs);
+  // Batched-read gauges; all-zero (omitted on the wire) means no MGET /
+  // MultiGet traffic yet.
+  if (stats.multiget_batches > 0) {
+    const double per_batch =
+        static_cast<double>(stats.multiget_keys) /
+        static_cast<double>(stats.multiget_batches);
+    std::printf("multiget:          %" PRIu64 " batches, %" PRIu64
+                " keys (%.1f/batch)\n",
+                stats.multiget_batches, stats.multiget_keys, per_batch);
+    std::printf("multiget:          %" PRIu64 " coalesced reads covering %"
+                PRIu64 " blocks\n",
+                stats.multiget_coalesced_reads,
+                stats.multiget_coalesced_blocks);
+  }
   // Serving-layer reactor counters; only the server's INFO path fills
   // these, and all-zero means an old server (or nothing observed yet).
   if (stats.server_loop_iterations > 0 || stats.server_writev_calls > 0 ||
